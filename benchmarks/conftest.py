@@ -1,0 +1,44 @@
+"""Shared helpers for the per-exhibit benchmark suite.
+
+Each benchmark module regenerates one table/figure of the paper via
+``repro.experiments``; the rendered table is written to
+``benchmarks/results/<exhibit>.txt`` so a full ``pytest benchmarks/
+--benchmark-only`` run leaves the reproduced exhibits on disk.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_exhibit(results_dir):
+    """Returns a callback that persists an ExperimentResult to disk."""
+
+    def _record(name, result):
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(result.format_table())
+            handle.write("\n")
+        return path
+
+    return _record
+
+
+def run_exhibit(benchmark, module, scale, record_exhibit, name, seed=0):
+    """Benchmark one exhibit's run() and persist its table."""
+    result = benchmark.pedantic(
+        lambda: module.run(scale=scale, seed=seed), rounds=1, iterations=1
+    )
+    record_exhibit(name, result)
+    benchmark.extra_info["rows"] = len(result.rows)
+    benchmark.extra_info["exhibit"] = result.exhibit
+    return result

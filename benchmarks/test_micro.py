@@ -1,0 +1,123 @@
+"""Microbenchmarks of the substrates (multi-round, real timings).
+
+These exercise the hot paths of the reproduction itself — DES event
+throughput, PMU reads, k-means fits, TSDB writes/queries — so
+regressions in the simulator show up as benchmark regressions.
+"""
+
+import numpy as np
+
+from repro.core.clustering import KMeans
+from repro.counters.pmu import Pmu
+from repro.counters.profiler import EpochProfiler
+from repro.simulation.des import Environment
+from repro.tsdb.point import Point
+from repro.tsdb.store import TimeSeriesStore
+from repro.workloads.perfmodel import epoch_time
+from repro.workloads.registry import LENET_MNIST
+from repro.workloads.spec import HyperParams, SystemParams, TrialConfig
+
+
+def test_des_event_throughput(benchmark):
+    """Schedule and drain 10k timeout events."""
+
+    def run():
+        env = Environment()
+
+        def ticker():
+            for _ in range(10_000):
+                yield env.timeout(1.0)
+
+        env.process(ticker())
+        env.run()
+        return env.now
+
+    now = benchmark(run)
+    assert now == 10_000.0
+
+
+def test_des_parallel_processes(benchmark):
+    """1k concurrent processes joined with AllOf."""
+
+    def run():
+        env = Environment()
+
+        def worker(i):
+            yield env.timeout(float(i % 7) + 1.0)
+            return i
+
+        def root():
+            procs = [env.process(worker(i)) for i in range(1_000)]
+            result = yield env.all_of(procs)
+            return len(result)
+
+        p = env.process(root())
+        env.run()
+        return p.value
+
+    assert benchmark(run) == 1_000
+
+
+def test_pmu_read_interval(benchmark):
+    config = TrialConfig(
+        LENET_MNIST, HyperParams(batch_size=64), SystemParams(cores=8, memory_gb=16.0)
+    )
+    pmu = Pmu()
+    readings = benchmark(lambda: pmu.read_interval(config, 60.0, 6.0, epoch=1))
+    assert len(readings) == 58
+
+
+def test_profiler_epoch(benchmark):
+    config = TrialConfig(
+        LENET_MNIST, HyperParams(batch_size=64), SystemParams(cores=8, memory_gb=16.0)
+    )
+    profiler = EpochProfiler()
+    profile = benchmark(lambda: profiler.profile_epoch(config, 1, 60.0, 6.0))
+    assert profile.avg_events_per_s.shape == (58,)
+
+
+def test_epoch_time_model(benchmark):
+    config = TrialConfig(
+        LENET_MNIST, HyperParams(batch_size=64), SystemParams(cores=8, memory_gb=16.0)
+    )
+    value = benchmark(lambda: epoch_time(config, epoch=1))
+    assert value > 0
+
+
+def test_kmeans_fit(benchmark):
+    rng = np.random.default_rng(0)
+    data = np.vstack(
+        [rng.normal(0, 1, (100, 58)), rng.normal(6, 1, (100, 58))]
+    )
+    model = benchmark(lambda: KMeans(k=2, seed=0).fit(data))
+    assert model.inertia > 0
+
+
+def test_tsdb_write_throughput(benchmark):
+    def run():
+        store = TimeSeriesStore()
+        for t in range(2_000):
+            store.write(
+                Point(
+                    measurement="power",
+                    time=float(t),
+                    tags={"node": f"n{t % 4}"},
+                    fields={"watts": 60.0 + t % 50},
+                )
+            )
+        return len(store)
+
+    assert benchmark(run) == 2_000
+
+
+def test_tsdb_window_query(benchmark):
+    store = TimeSeriesStore()
+    for t in range(5_000):
+        store.write(
+            Point(measurement="power", time=float(t), fields={"watts": float(t % 97)})
+        )
+
+    buckets = benchmark(
+        lambda: store.aggregate_windows("power", "watts", window_s=60.0)
+    )
+    assert len(buckets) == 84

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Multi-tenant scenario: a shared cluster serving arriving HPT jobs.
+
+Generates a Poisson arrival trace mixing Type-I (image) and Type-II
+(NLP) tuning jobs — 20 % of them unseen workload variants — and runs
+it under Tune V1 and under PipeTune with one shared session. Prints
+per-job response times and the aggregate comparison (paper Fig 13
+style).
+
+Usage::
+
+    python examples/multi_tenant_cluster.py [num_jobs] [seed]
+"""
+
+import sys
+
+from repro.experiments.harness import (
+    fresh_cluster,
+    make_pipetune_session,
+    make_pipetune_spec,
+    make_v1_spec,
+)
+from repro.multitenancy import generate_arrivals, run_multi_tenancy
+from repro.workloads import type12_workloads, workloads_of_type
+
+
+def run_system(system: str, num_jobs: int, seed: int):
+    env, cluster = fresh_cluster(distributed=True)
+    arrivals = generate_arrivals(
+        [workloads_of_type("I"), workloads_of_type("II")],
+        num_jobs=num_jobs,
+        mean_interarrival_s=1200.0,
+        unseen_fraction=0.2,
+        seed=seed,
+    )
+    if system == "pipetune":
+        session = make_pipetune_session(distributed=True, seed=seed)
+        session.warm_start(type12_workloads())
+        factory = lambda workload, arrival: make_pipetune_spec(  # noqa: E731
+            session, workload, seed=seed + arrival.index
+        )
+    else:
+        factory = lambda workload, arrival: make_v1_spec(  # noqa: E731
+            workload, seed=seed + arrival.index
+        )
+    return run_multi_tenancy(env, cluster, arrivals, factory, max_concurrent_jobs=2)
+
+
+def main(num_jobs: int = 8, seed: int = 0) -> None:
+    traces = {}
+    for system in ("tune-v1", "pipetune"):
+        print(f"=== {system} ===")
+        trace = run_multi_tenancy_trace = run_system(system, num_jobs, seed)
+        traces[system] = trace
+        for record in sorted(trace.records, key=lambda r: r.arrival.arrival_time_s):
+            tag = " (unseen)" if record.arrival.unseen else ""
+            print(
+                f"  job {record.arrival.index:>2d} {record.arrival.workload.name:<28s}"
+                f" arrived {record.arrival.arrival_time_s:>7.0f}s "
+                f"queued {record.queue_wait_s:>6.0f}s "
+                f"response {record.response_time_s:>7.0f}s{tag}"
+            )
+        print(
+            f"  mean response: {trace.mean_response_time_s():.0f}s "
+            f"(Type-I {trace.mean_response_time_s('I'):.0f}s, "
+            f"Type-II {trace.mean_response_time_s('II'):.0f}s)\n"
+        )
+
+    v1 = traces["tune-v1"].mean_response_time_s()
+    pt = traces["pipetune"].mean_response_time_s()
+    print(f"PipeTune mean response time vs Tune V1: {100 * (1 - pt / v1):+.1f}% lower")
+
+
+if __name__ == "__main__":
+    jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    main(jobs, seed)

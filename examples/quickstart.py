@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: tune LeNet/MNIST with PipeTune on a simulated cluster.
+
+Runs one hyperparameter-tuning job three ways — Tune V1 (accuracy
+only, fixed system parameters), Tune V2 (system parameters as extra
+hyperparameters) and PipeTune (pipelined system tuning) — and prints
+the accuracy / training-time / tuning-time comparison of the paper's
+Table 2.
+
+Usage::
+
+    python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro import LENET_MNIST, PipeTuneSession, type12_workloads
+from repro.experiments.harness import (
+    execute_job,
+    make_pipetune_session,
+    make_pipetune_spec,
+    make_v1_spec,
+    make_v2_spec,
+)
+
+
+def main(seed: int = 0) -> None:
+    print(f"Tuning {LENET_MNIST.name} (seed={seed}) on a simulated 4-node cluster\n")
+
+    rows = []
+
+    v1 = execute_job(make_v1_spec(LENET_MNIST, seed=seed))
+    rows.append(("Tune V1", v1))
+
+    v2 = execute_job(make_v2_spec(LENET_MNIST, seed=seed))
+    rows.append(("Tune V2", v2))
+
+    # PipeTune keeps a session across jobs: its ground-truth database
+    # is warm-started from the paper's offline profiling campaign.
+    session = make_pipetune_session(distributed=True, seed=seed)
+    session.warm_start(type12_workloads())
+    pipetune = execute_job(make_pipetune_spec(session, LENET_MNIST, seed=seed))
+    rows.append(("PipeTune", pipetune))
+
+    header = f"{'approach':<10} {'accuracy':>9} {'training[s]':>12} {'tuning[s]':>10} {'trials':>7}"
+    print(header)
+    print("-" * len(header))
+    for name, result in rows:
+        print(
+            f"{name:<10} {100 * result.best_accuracy:>8.2f}% "
+            f"{result.best_training_time_s:>12.0f} {result.tuning_time_s:>10.0f} "
+            f"{result.num_trials:>7d}"
+        )
+
+    print(
+        f"\nPipeTune best hyperparameters: batch={pipetune.best_hyper.batch_size} "
+        f"lr={pipetune.best_hyper.learning_rate:.4f} "
+        f"dropout={pipetune.best_hyper.dropout:.2f}"
+    )
+    print(
+        f"PipeTune best system parameters: {pipetune.best_system.cores} cores, "
+        f"{pipetune.best_system.memory_gb:.0f} GB"
+    )
+    print(f"Ground-truth hit rate: {session.stats.hit_rate:.0%}")
+    saved = 100 * (1 - pipetune.tuning_time_s / v1.tuning_time_s)
+    print(f"Tuning time vs Tune V1: {saved:+.1f}% " + ("(saved)" if saved > 0 else ""))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 0)

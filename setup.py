@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no network access, so pip cannot fetch
+the ``wheel`` backend required for PEP 517 editable installs. This shim
+enables ``pip install -e . --no-use-pep517 --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,141 @@
+"""repro — a full reproduction of PipeTune (Middleware 2020).
+
+PipeTune pipelines *system-parameter* tuning (CPU cores, memory)
+inside the epochs of each *hyperparameter*-tuning trial, reusing
+performance-counter profiles of past jobs to skip probing for similar
+workloads.
+
+Quick start::
+
+    from repro import (
+        PipeTuneSession, Environment, paper_distributed_cluster,
+        run_hpt_job, LENET_MNIST, type12_workloads,
+    )
+
+    session = PipeTuneSession()
+    session.warm_start(type12_workloads())
+    env = Environment()
+    cluster = paper_distributed_cluster(env)
+    job = run_hpt_job(env, cluster, session.job_spec(LENET_MNIST))
+    env.run()
+    print(job.value.best_hyper, job.value.best_system)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.simulation` — discrete-event cluster/power substrate
+* :mod:`repro.counters`  — simulated PMU + epoch profiler
+* :mod:`repro.workloads` — the 7 paper workloads and their models
+* :mod:`repro.tsdb`      — embedded time-series store
+* :mod:`repro.hpo`       — search algorithms (HyperBand et al.)
+* :mod:`repro.tune`      — HPT-job runner and the V1/V2 baselines
+* :mod:`repro.core`      — PipeTune itself (profiling/ground truth/probing)
+* :mod:`repro.multitenancy` — FIFO multi-job scheduling
+* :mod:`repro.ec2`       — Fig 1 cost model
+* :mod:`repro.experiments` — one module per paper table/figure
+"""
+
+from .core import (
+    GroundTruth,
+    GroundTruthEntry,
+    KMeans,
+    PipeTuneConfig,
+    PipeTuneHooks,
+    PipeTuneSession,
+    ProbingController,
+)
+from .hpo import (
+    BayesianOptimisation,
+    GeneticSearch,
+    GridSearch,
+    HyperBand,
+    PopulationBasedTraining,
+    RandomSearch,
+    SearchSpace,
+    joint_space,
+    paper_hyper_space,
+    paper_system_space,
+)
+from .simulation import (
+    EnergyMeter,
+    Environment,
+    PduSampler,
+    SimCluster,
+    paper_distributed_cluster,
+    paper_single_node,
+)
+from .tsdb import Point, TimeSeriesStore
+from .tune import (
+    DEFAULT_SYSTEM,
+    HptJobSpec,
+    HptResult,
+    TrialHooks,
+    accuracy_objective,
+    accuracy_per_time_objective,
+    run_hpt_job,
+    run_trial,
+)
+from .workloads import (
+    ALL_WORKLOADS,
+    CNN_NEWS20,
+    LENET_FASHION,
+    LENET_MNIST,
+    LSTM_NEWS20,
+    HyperParams,
+    SystemParams,
+    TrialConfig,
+    WorkloadSpec,
+    get_workload,
+    type12_workloads,
+    workloads_of_type,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "BayesianOptimisation",
+    "CNN_NEWS20",
+    "DEFAULT_SYSTEM",
+    "EnergyMeter",
+    "Environment",
+    "GeneticSearch",
+    "GridSearch",
+    "GroundTruth",
+    "GroundTruthEntry",
+    "HptJobSpec",
+    "HptResult",
+    "HyperBand",
+    "HyperParams",
+    "KMeans",
+    "LENET_FASHION",
+    "LENET_MNIST",
+    "LSTM_NEWS20",
+    "PduSampler",
+    "PipeTuneConfig",
+    "PipeTuneHooks",
+    "PipeTuneSession",
+    "Point",
+    "PopulationBasedTraining",
+    "ProbingController",
+    "RandomSearch",
+    "SearchSpace",
+    "SimCluster",
+    "SystemParams",
+    "TimeSeriesStore",
+    "TrialConfig",
+    "TrialHooks",
+    "WorkloadSpec",
+    "accuracy_objective",
+    "accuracy_per_time_objective",
+    "get_workload",
+    "joint_space",
+    "paper_distributed_cluster",
+    "paper_hyper_space",
+    "paper_single_node",
+    "paper_system_space",
+    "run_hpt_job",
+    "run_trial",
+    "type12_workloads",
+    "workloads_of_type",
+    "__version__",
+]

@@ -1,0 +1,136 @@
+"""Command-line interface: list and run the paper's exhibits.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run table2 --scale 0.5 --seed 1
+    python -m repro.cli run all --scale 0.34 --out results/
+    python -m repro.cli tune lenet-mnist --system pipetune
+
+Exit status is non-zero on unknown exhibits/workloads so the CLI is
+scriptable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import EXHIBITS
+from .experiments.harness import (
+    execute_job,
+    make_pipetune_session,
+    make_pipetune_spec,
+    make_v1_spec,
+    make_v2_spec,
+)
+from .workloads.registry import ALL_WORKLOADS, get_workload, type12_workloads
+
+
+def _cmd_list(_args) -> int:
+    width = max(len(k) for k in EXHIBITS)
+    for key, module in EXHIBITS.items():
+        title = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{key:<{width}}  {title}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    keys: List[str]
+    if args.exhibit == "all":
+        keys = list(EXHIBITS)
+    elif args.exhibit in EXHIBITS:
+        keys = [args.exhibit]
+    else:
+        print(
+            f"unknown exhibit {args.exhibit!r}; choose from: "
+            f"{', '.join(EXHIBITS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+    for key in keys:
+        started = time.time()
+        result = EXHIBITS[key].run(scale=args.scale, seed=args.seed)
+        table = result.format_table()
+        print(table)
+        print(f"[{key}: {time.time() - started:.1f}s]\n")
+        if args.out:
+            path = os.path.join(args.out, f"{key}.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(table + "\n")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    try:
+        workload = get_workload(args.workload)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    distributed = workload.workload_type != "III"
+    if args.system == "pipetune":
+        session = make_pipetune_session(distributed=distributed, seed=args.seed)
+        session.warm_start(
+            type12_workloads() if distributed else [workload]
+        )
+        spec = make_pipetune_spec(session, workload, seed=args.seed)
+    elif args.system == "v1":
+        spec = make_v1_spec(workload, seed=args.seed)
+    elif args.system == "v2":
+        spec = make_v2_spec(workload, seed=args.seed)
+    else:  # pragma: no cover - argparse choices guard this
+        return 2
+    result = execute_job(spec, distributed=distributed)
+    print(f"workload        : {workload.name}")
+    print(f"system          : {args.system}")
+    print(f"best accuracy   : {100 * result.best_accuracy:.2f}%")
+    print(f"best hyperparams: {result.best_hyper}")
+    print(f"best system     : {result.best_system}")
+    print(f"training time   : {result.best_training_time_s:.0f}s")
+    print(f"tuning time     : {result.tuning_time_s:.0f}s")
+    print(f"tuning energy   : {result.tuning_energy_j / 1000:.0f} kJ")
+    print(f"trials          : {result.num_trials}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PipeTune reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible exhibits").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="regenerate one exhibit (or 'all')")
+    run.add_argument("exhibit", help="fig01..fig14, table2 or 'all'")
+    run.add_argument("--scale", type=float, default=1.0)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--out", help="directory to write rendered tables to")
+    run.set_defaults(func=_cmd_run)
+
+    tune = sub.add_parser("tune", help="tune one workload with one system")
+    tune.add_argument(
+        "workload", help=f"one of: {', '.join(w.name for w in ALL_WORKLOADS)}"
+    )
+    tune.add_argument(
+        "--system", choices=("pipetune", "v1", "v2"), default="pipetune"
+    )
+    tune.add_argument("--seed", type=int, default=0)
+    tune.set_defaults(func=_cmd_tune)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

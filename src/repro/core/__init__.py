@@ -1,0 +1,34 @@
+"""PipeTune core: clustering, ground truth, probing, pipelined tuning."""
+
+from .clustering import DBSCAN, KMeans, NearestCentroid, pairwise_sq_distances
+from .groundtruth import GroundTruth, GroundTruthEntry, GroundTruthMatch
+from .pipetune import (
+    PipeTuneConfig,
+    PipeTuneHooks,
+    PipeTuneSession,
+    PipeTuneStats,
+)
+from .probing import (
+    TIE_BAND,
+    ProbeSample,
+    ProbingController,
+    probe_plan_length,
+)
+
+__all__ = [
+    "DBSCAN",
+    "GroundTruth",
+    "GroundTruthEntry",
+    "GroundTruthMatch",
+    "KMeans",
+    "NearestCentroid",
+    "PipeTuneConfig",
+    "PipeTuneHooks",
+    "PipeTuneSession",
+    "PipeTuneStats",
+    "ProbeSample",
+    "ProbingController",
+    "TIE_BAND",
+    "probe_plan_length",
+    "pairwise_sq_distances",
+]

@@ -1,0 +1,220 @@
+"""Clustering algorithms for the ground-truth similarity function.
+
+The paper's default similarity function is k-means (§5.4, "battle-
+tested k-means implementation openly available in scikit-learn"); the
+module also provides DBSCAN and a nearest-centroid classifier because
+PipeTune's design keeps the similarity function pluggable.
+
+Implemented from scratch on numpy (scikit-learn is not available in
+this environment): k-means uses k-means++ seeding and Lloyd iterations
+with an empty-cluster repair step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+def _as_matrix(x) -> np.ndarray:
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        x = x[None, :]
+    if x.ndim != 2:
+        raise ValueError("expected a 2-D sample matrix")
+    return x
+
+
+def pairwise_sq_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between row sets ``a`` and ``b``."""
+    a2 = np.sum(a * a, axis=1)[:, None]
+    b2 = np.sum(b * b, axis=1)[None, :]
+    return np.maximum(0.0, a2 + b2 - 2.0 * a @ b.T)
+
+
+class KMeans:
+    """Lloyd's k-means with k-means++ initialisation.
+
+    Attributes after :meth:`fit`:
+
+    * ``centroids`` — (k, d) array,
+    * ``labels`` — training assignment,
+    * ``inertia`` — sum of squared distances to assigned centroids
+      (the quantity PipeTune compares its similarity threshold
+      against, §5.6).
+    """
+
+    def __init__(
+        self,
+        k: int = 2,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        n_init: int = 4,
+        seed: int = 0,
+    ):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.max_iter = max_iter
+        self.tol = tol
+        self.n_init = max(1, n_init)
+        self.seed = seed
+        self.centroids: Optional[np.ndarray] = None
+        self.labels: Optional[np.ndarray] = None
+        self.inertia: float = float("inf")
+
+    # -- fitting ------------------------------------------------------------
+    def _init_centroids(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding."""
+        n = len(x)
+        centroids = [x[int(rng.integers(0, n))]]
+        while len(centroids) < self.k:
+            d2 = pairwise_sq_distances(x, np.array(centroids)).min(axis=1)
+            total = float(d2.sum())
+            if total <= 0:
+                centroids.append(x[int(rng.integers(0, n))])
+                continue
+            probs = d2 / total
+            centroids.append(x[int(rng.choice(n, p=probs))])
+        return np.array(centroids)
+
+    def _lloyd(self, x: np.ndarray, centroids: np.ndarray, rng: np.random.Generator):
+        for _ in range(self.max_iter):
+            d2 = pairwise_sq_distances(x, centroids)
+            labels = d2.argmin(axis=1)
+            new_centroids = centroids.copy()
+            for j in range(self.k):
+                members = x[labels == j]
+                if len(members):
+                    new_centroids[j] = members.mean(axis=0)
+                else:
+                    # Empty cluster: reseed at the farthest point.
+                    new_centroids[j] = x[int(d2.min(axis=1).argmax())]
+            shift = float(np.linalg.norm(new_centroids - centroids))
+            centroids = new_centroids
+            if shift < self.tol:
+                break
+        d2 = pairwise_sq_distances(x, centroids)
+        labels = d2.argmin(axis=1)
+        inertia = float(d2[np.arange(len(x)), labels].sum())
+        return centroids, labels, inertia
+
+    def fit(self, x) -> "KMeans":
+        x = _as_matrix(x)
+        if len(x) < self.k:
+            raise ValueError(f"need at least k={self.k} samples, got {len(x)}")
+        rng = np.random.default_rng(self.seed)
+        best = None
+        for _ in range(self.n_init):
+            centroids = self._init_centroids(x, rng)
+            result = self._lloyd(x, centroids, rng)
+            if best is None or result[2] < best[2]:
+                best = result
+        self.centroids, self.labels, self.inertia = best
+        return self
+
+    # -- inference -----------------------------------------------------------
+    def _require_fit(self):
+        if self.centroids is None:
+            raise RuntimeError("KMeans used before fit()")
+
+    def predict(self, x) -> np.ndarray:
+        self._require_fit()
+        return pairwise_sq_distances(_as_matrix(x), self.centroids).argmin(axis=1)
+
+    def distances(self, x) -> np.ndarray:
+        """Euclidean distance from each sample to its nearest centroid."""
+        self._require_fit()
+        return np.sqrt(
+            pairwise_sq_distances(_as_matrix(x), self.centroids).min(axis=1)
+        )
+
+    def cluster_radius(self, label: int) -> float:
+        """RMS distance of the training members of one cluster.
+
+        Serves as the reliability scale PipeTune compares a new
+        profile's centroid distance against (§5.6).
+        """
+        self._require_fit()
+        members = self.labels == label
+        count = int(members.sum())
+        if count == 0:
+            return 0.0
+        # per-cluster inertia
+        return float(np.sqrt(self.inertia / max(1, len(self.labels))) )
+
+
+class NearestCentroid:
+    """Supervised nearest-centroid classifier (alternative similarity)."""
+
+    def __init__(self):
+        self.centroids: Optional[np.ndarray] = None
+        self.classes: List = []
+
+    def fit(self, x, labels) -> "NearestCentroid":
+        x = _as_matrix(x)
+        labels = list(labels)
+        if len(labels) != len(x):
+            raise ValueError("labels length mismatch")
+        self.classes = sorted(set(labels))
+        self.centroids = np.array(
+            [
+                x[[i for i, l in enumerate(labels) if l == c]].mean(axis=0)
+                for c in self.classes
+            ]
+        )
+        return self
+
+    def predict(self, x) -> List:
+        if self.centroids is None:
+            raise RuntimeError("NearestCentroid used before fit()")
+        idx = pairwise_sq_distances(_as_matrix(x), self.centroids).argmin(axis=1)
+        return [self.classes[i] for i in idx]
+
+
+class DBSCAN:
+    """Density-based clustering (alternative similarity function).
+
+    Labels of -1 mark noise points, as in scikit-learn.
+    """
+
+    def __init__(self, eps: float = 0.5, min_samples: int = 3):
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.eps = eps
+        self.min_samples = min_samples
+        self.labels: Optional[np.ndarray] = None
+
+    def fit(self, x) -> "DBSCAN":
+        x = _as_matrix(x)
+        n = len(x)
+        d = np.sqrt(pairwise_sq_distances(x, x))
+        neighbours = [np.flatnonzero(d[i] <= self.eps) for i in range(n)]
+        labels = np.full(n, -1, dtype=int)
+        visited = np.zeros(n, dtype=bool)
+        cluster = 0
+        for i in range(n):
+            if visited[i]:
+                continue
+            visited[i] = True
+            if len(neighbours[i]) < self.min_samples:
+                continue
+            # Grow a new cluster from this core point.
+            labels[i] = cluster
+            frontier = list(neighbours[i])
+            while frontier:
+                j = frontier.pop()
+                if labels[j] == -1:
+                    labels[j] = cluster
+                if visited[j]:
+                    continue
+                visited[j] = True
+                if len(neighbours[j]) >= self.min_samples:
+                    frontier.extend(neighbours[j])
+            cluster += 1
+        self.labels = labels
+        return self

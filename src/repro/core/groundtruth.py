@@ -1,0 +1,209 @@
+"""Ground truth: reuse of system configurations across similar jobs.
+
+New HPT jobs exploit the profiles of previously completed jobs (§5.4):
+a k-means model over the stored profile feature vectors partitions the
+history; a new profile whose distance to its nearest centroid is
+within the model's reliability threshold *hits* and reuses the best
+system configuration known for the closest stored profile. Otherwise
+the trial *misses* and PipeTune launches a probing phase (§5.6).
+
+Privacy (§5.5): entries are matched purely on performance-counter
+features. Workload names are stored for evaluation/reporting only and
+never used in the lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..counters.events import NUM_EVENTS
+from ..tsdb.point import Point
+from ..tsdb.store import TimeSeriesStore
+from ..workloads.spec import SystemParams
+from .clustering import KMeans, pairwise_sq_distances
+
+
+@dataclass
+class GroundTruthEntry:
+    """One historical profile with its known-best system configuration."""
+
+    features: np.ndarray
+    best_system: SystemParams
+    objective_value: float = 0.0
+    workload_name: str = ""  # reporting only; never used for matching
+    created_at: float = 0.0
+
+    def __post_init__(self):
+        self.features = np.asarray(self.features, dtype=float)
+        if self.features.ndim != 1:
+            raise ValueError("entry features must be a vector")
+
+
+@dataclass
+class GroundTruthMatch:
+    """Result of a similarity query that crossed the confidence level."""
+
+    system: SystemParams
+    distance: float
+    threshold: float
+    cluster: int
+    source_workload: str
+
+    @property
+    def confidence(self) -> float:
+        """1 at the centroid, 0 at the threshold boundary."""
+        if self.threshold <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.distance / self.threshold)
+
+
+class GroundTruth:
+    """The profile database plus the pluggable similarity model."""
+
+    def __init__(
+        self,
+        k: int = 2,
+        threshold_scale: float = 2.5,
+        min_entries: int = 4,
+        distance_floor: float = 0.12,
+        clusterer_factory: Optional[Callable[[int], KMeans]] = None,
+        seed: int = 0,
+    ):
+        if min_entries < max(2, k):
+            raise ValueError("min_entries must be >= max(2, k)")
+        if distance_floor < 0:
+            raise ValueError("distance_floor must be >= 0")
+        self.k = k
+        self.threshold_scale = threshold_scale
+        self.min_entries = min_entries
+        #: lower bound on the per-cluster RMS scale: stored profiles of
+        #: one workload can be near-identical (zero inertia), but a new
+        #: profile of the same workload still carries measurement noise
+        #: of roughly this magnitude in feature space.
+        self.distance_floor = distance_floor
+        self._clusterer_factory = clusterer_factory or (
+            lambda kk: KMeans(k=kk, seed=seed)
+        )
+        self.entries: List[GroundTruthEntry] = []
+        self._model: Optional[KMeans] = None
+        self._dirty = False
+
+    # -- maintenance ----------------------------------------------------------
+    def add(self, entry: GroundTruthEntry) -> None:
+        self.entries.append(entry)
+        self._dirty = True
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def _feature_matrix(self) -> np.ndarray:
+        return np.array([e.features for e in self.entries])
+
+    def refit(self) -> None:
+        """(Re-)cluster the stored profiles (paper's re-clustering, §5.6)."""
+        if len(self.entries) < max(self.min_entries, self.k):
+            self._model = None
+            self._dirty = False
+            return
+        model = self._clusterer_factory(self.k)
+        model.fit(self._feature_matrix())
+        self._model = model
+        self._dirty = False
+
+    @property
+    def model(self) -> Optional[KMeans]:
+        if self._dirty:
+            self.refit()
+        return self._model
+
+    # -- lookup -----------------------------------------------------------------
+    def threshold_for(self, cluster: int) -> float:
+        """Distance threshold derived from the model's inertia (§5.6)."""
+        model = self.model
+        if model is None:
+            return 0.0
+        rms = np.sqrt(model.inertia / max(1, len(self.entries)))
+        return self.threshold_scale * max(rms, self.distance_floor)
+
+    def query(self, features: np.ndarray) -> Optional[GroundTruthMatch]:
+        """Similarity lookup; None means "launch a probing phase"."""
+        model = self.model
+        if model is None:
+            return None
+        features = np.asarray(features, dtype=float)
+        cluster = int(model.predict(features)[0])
+        distance = float(model.distances(features)[0])
+        threshold = self.threshold_for(cluster)
+        if distance > threshold:
+            return None
+        # Nearest stored entry within the matched cluster decides the
+        # configuration (batch-size regimes of one workload land on
+        # different entries even inside one cluster).
+        member_idx = [
+            i for i, label in enumerate(model.labels) if label == cluster
+        ]
+        if not member_idx:
+            return None
+        members = np.array([self.entries[i].features for i in member_idx])
+        nearest = member_idx[
+            int(pairwise_sq_distances(features[None, :], members).argmin())
+        ]
+        entry = self.entries[nearest]
+        return GroundTruthMatch(
+            system=entry.best_system,
+            distance=distance,
+            threshold=threshold,
+            cluster=cluster,
+            source_workload=entry.workload_name,
+        )
+
+    # -- persistence (via the TSDB backend, as the paper uses InfluxDB) ------
+    MEASUREMENT = "ground_truth"
+
+    def to_store(self, store: TimeSeriesStore) -> int:
+        """Write all entries into a :class:`TimeSeriesStore`."""
+        count = 0
+        for i, entry in enumerate(self.entries):
+            fields = {f"f{j}": float(v) for j, v in enumerate(entry.features)}
+            fields["objective_value"] = float(entry.objective_value)
+            fields["cores"] = float(entry.best_system.cores)
+            fields["memory_gb"] = float(entry.best_system.memory_gb)
+            store.write(
+                Point(
+                    measurement=self.MEASUREMENT,
+                    time=entry.created_at or float(i),
+                    tags={"workload": entry.workload_name or "unknown"},
+                    fields=fields,
+                )
+            )
+            count += 1
+        return count
+
+    @classmethod
+    def from_store(cls, store: TimeSeriesStore, **kwargs) -> "GroundTruth":
+        """Rebuild a ground-truth database from persisted points."""
+        ground_truth = cls(**kwargs)
+        for point in store.query(cls.MEASUREMENT):
+            # Feature dimensionality is whatever was stored: 58 for
+            # plain PMU profiles, more when the hyperparameter-
+            # similarity extension appends its dimensions.
+            dims = [k for k in point.fields if k.startswith("f")]
+            features = np.zeros(len(dims))
+            for key in dims:
+                features[int(key[1:])] = point.fields[key]
+            ground_truth.add(
+                GroundTruthEntry(
+                    features=features,
+                    best_system=SystemParams(
+                        cores=int(point.fields["cores"]),
+                        memory_gb=float(point.fields["memory_gb"]),
+                    ),
+                    objective_value=float(point.fields.get("objective_value", 0.0)),
+                    workload_name=point.tags.get("workload", ""),
+                    created_at=point.time,
+                )
+            )
+        return ground_truth

@@ -1,0 +1,486 @@
+"""PipeTune: pipelined tuning of hyper and system parameters.
+
+This module implements Algorithm 1 of the paper. A
+:class:`PipeTuneSession` owns the ground-truth database and hands out
+:class:`PipeTuneHooks` for every training trial an HPT job spawns. The
+hook runs the per-trial pipeline at epoch granularity:
+
+1. **profiling** — the first epoch(s) run under the PMU profiler
+   (small overhead), producing the trial's feature vector;
+2. **ground truth** — the similarity function (k-means by default) is
+   applied; a hit applies the stored best system configuration and
+   skips probing entirely;
+3. **probing** — on a miss, each candidate system configuration is
+   applied for one epoch and scored by the system-level optimisation
+   function (shortest runtime by default, energy as an alternative);
+4. **run-out** — the winning configuration is applied for the
+   remaining epochs and stored in the ground-truth database for
+   future jobs.
+
+All of this happens *inside* a normally-progressing training trial —
+probe epochs are real training epochs — which is the paper's pipeline
+parallelism. The hyperparameter level above is untouched: PipeTune
+keeps the accuracy-only objective of Tune V1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..counters.profiler import EpochProfiler, average_profiles
+from ..hpo.algorithms import SearchAlgorithm
+from ..hpo.hyperband import HyperBand
+from ..hpo.space import paper_hyper_space
+from ..tune.objectives import accuracy_objective, runtime_system_objective
+from ..tune.runner import DEFAULT_SYSTEM, HptJobSpec
+from ..tune.trainer import TrialContext, TrialHooks
+from ..tune.trial import EpochRecord, TrialResult
+from ..workloads.perfmodel import active_cores, epoch_cost
+from ..workloads.spec import (
+    PAPER_BATCH_GRID,
+    PAPER_CORE_GRID,
+    PAPER_MEMORY_GRID_GB,
+    HyperParams,
+    SystemParams,
+    TrialConfig,
+    WorkloadSpec,
+)
+from .groundtruth import GroundTruth, GroundTruthEntry
+from .probing import ProbeSample, ProbingController, SystemObjective
+
+
+@dataclass
+class PipeTuneConfig:
+    """Tunables of the PipeTune middleware itself."""
+
+    #: epochs profiled before the ground-truth lookup (paper profiles
+    #: "across the first couple of epochs"; one is enough here because
+    #: the simulated profile noise is small).
+    profile_epochs: int = 1
+    #: hard cap on probe epochs per trial.
+    max_probes: int = 6
+    #: epochs that must remain after probing for it to be worthwhile.
+    min_epochs_after_probe: int = 1
+    #: k of the k-means similarity model (paper uses k=2).
+    similarity_k: int = 2
+    #: multiple of the model's RMS inertia accepted as "similar".
+    threshold_scale: float = 2.5
+    #: minimum stored profiles before the similarity model activates.
+    min_entries: int = 4
+    #: ablation switch: disable ground-truth reuse (always probe).
+    use_ground_truth: bool = True
+    #: similarity extension (§5.4 future work): append normalised
+    #: hyperparameter dimensions to the profile feature vector, so the
+    #: ground truth can distinguish e.g. batch-size regimes directly.
+    similarity_include_hyper: bool = False
+    #: weight of the appended hyperparameter dimensions relative to
+    #: the (log-scale) PMU dimensions.
+    hyper_feature_weight: float = 1.0
+    #: ablation switch: non-pipelined variant makes every tuning
+    #: decision on the critical path, costing this many seconds per
+    #: profiled/probed epoch.
+    decision_delay_s: float = 5.0
+    pipelined: bool = True
+    #: system-parameter candidates.
+    cores_grid: Sequence[int] = PAPER_CORE_GRID
+    memory_grid_gb: Sequence[float] = PAPER_MEMORY_GRID_GB
+    #: optional DVFS sweep (GHz); None disables the frequency phase
+    #: (the paper's evaluation tunes cores and memory only).
+    frequency_grid_ghz: Optional[Sequence[float]] = None
+    #: system-level optimisation function (runtime by default).
+    system_objective: SystemObjective = runtime_system_objective
+
+
+@dataclass
+class PipeTuneStats:
+    """Session-wide accounting (exposed in experiment reports)."""
+
+    trials: int = 0
+    ground_truth_hits: int = 0
+    ground_truth_misses: int = 0
+    probes_run: int = 0
+    probing_trials: int = 0
+    entries_stored: int = 0
+    reconfigurations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.ground_truth_hits + self.ground_truth_misses
+        return self.ground_truth_hits / total if total else 0.0
+
+
+class PipeTuneHooks(TrialHooks):
+    """Per-trial pipeline state machine (Algorithm 1)."""
+
+    PROFILE = "profile"
+    PROBE = "probe"
+    RUN = "run"
+
+    def __init__(
+        self,
+        session: "PipeTuneSession",
+        trial_id: str,
+        workload: WorkloadSpec,
+        hyper: HyperParams,
+        initial_system: SystemParams,
+    ):
+        self.session = session
+        self.trial_id = trial_id
+        self.workload = workload
+        self.hyper = hyper
+        self.state = self.PROFILE
+        self._profiles: List = []
+        self._features: Optional[np.ndarray] = None
+        self._controller: Optional[ProbingController] = None
+        self._target_system: Optional[SystemParams] = None
+        self._probed = False
+        self._epochs_total = 0
+        self._epochs_seen = 0
+        self._start_hint_used = False
+
+    # -- hook interface ------------------------------------------------------
+    def on_start(self, ctx: TrialContext) -> None:
+        self.session.stats.trials += 1
+
+    def wants_profiling(self, ctx: TrialContext, epoch: int) -> bool:
+        return self.state == self.PROFILE
+
+    def is_probe_epoch(self, ctx: TrialContext, epoch: int) -> bool:
+        return self.state == self.PROBE
+
+    def epoch_extra_delay_s(self, ctx: TrialContext, epoch: int) -> float:
+        if self.session.config.pipelined:
+            return 0.0
+        if self.state in (self.PROFILE, self.PROBE):
+            return self.session.config.decision_delay_s
+        return 0.0
+
+    def before_epoch(self, ctx: TrialContext, epoch: int) -> Optional[SystemParams]:
+        self._epochs_total = max(self._epochs_total, epoch)
+        if self.state == self.PROFILE and not self._start_hint_used:
+            # Sibling trials of the same session already resolved this
+            # workload: start at the known-good shape and let the
+            # profile/ground-truth pipeline refine it (§5.1 "jobs could
+            # benefit from previously computed results ... to converge
+            # faster").
+            self._start_hint_used = True
+            hint = self.session.start_hint(self.workload)
+            if hint is not None and hint != ctx.system:
+                self.session.stats.reconfigurations += 1
+                return hint
+        if self.state == self.PROBE and self._controller is not None:
+            config = self._controller.next_config()
+            if config is not None:
+                clipped = self.session.clip_to_cluster(config, ctx)
+                if clipped != config:
+                    # Infeasible on this cluster; skip by recording a
+                    # poison sample so it never wins.
+                    self._controller.record(
+                        ProbeSample(system=config, duration_s=float("inf"), energy_j=float("inf"))
+                    )
+                    return self.before_epoch(ctx, epoch)
+                self.session.stats.probes_run += 1
+                return config
+            # plan exhausted: decide now
+            self._finish_probing(ctx)
+        if self._target_system is not None and ctx.system != self._target_system:
+            self.session.stats.reconfigurations += 1
+            return self._target_system
+        return None
+
+    def after_epoch(self, ctx: TrialContext, record: EpochRecord) -> None:
+        self._epochs_seen = record.epoch
+        if self.state == self.PROFILE and record.profile is not None:
+            self._profiles.append(record.profile)
+            if len(self._profiles) >= self.session.config.profile_epochs:
+                self._features = self.session.augment_features(
+                    average_profiles(self._profiles), self.hyper
+                )
+                self._decide_after_profiling(ctx, record)
+        elif self.state == self.PROBE and self._controller is not None:
+            if record.probed:
+                self._controller.record(
+                    ProbeSample(
+                        system=record.system,
+                        duration_s=record.duration_s,
+                        energy_j=record.energy_j,
+                    )
+                )
+            remaining = self._remaining_epochs(ctx)
+            if self._controller.exhausted or remaining <= self.session.config.min_epochs_after_probe:
+                self._finish_probing(ctx)
+
+    def on_end(self, ctx: TrialContext, result: TrialResult) -> None:
+        if self.state == self.PROBE:
+            # trial ended mid-probe (short rung): still learn from it
+            self._finish_probing(ctx, store=self._controller is not None
+                                 and self._controller.probes_run > 0)
+
+    # -- pipeline steps ------------------------------------------------------
+    def _remaining_epochs(self, ctx: TrialContext) -> int:
+        return max(0, self._epochs_total_guess(ctx) - self._epochs_seen)
+
+    def _epochs_total_guess(self, ctx: TrialContext) -> int:
+        # the trainer iterates to the trial's target; hyper.epochs is
+        # the workload-level setting, HyperBand rungs may be shorter.
+        if ctx.target_epochs:
+            return ctx.target_epochs
+        return max(self._epochs_total, ctx.hyper.epochs)
+
+    def _decide_after_profiling(self, ctx: TrialContext, record: EpochRecord) -> None:
+        session = self.session
+        match = None
+        if session.config.use_ground_truth:
+            match = session.ground_truth.query(self._features)
+        if match is not None:
+            session.stats.ground_truth_hits += 1
+            self._target_system = session.clip_to_cluster(match.system, ctx)
+            session.set_start_hint(self.workload, self._target_system)
+            self.state = self.RUN
+            return
+        session.stats.ground_truth_misses += 1
+        remaining = self._remaining_epochs(ctx)
+        budget = min(
+            session.config.max_probes,
+            remaining - session.config.min_epochs_after_probe,
+        )
+        if budget < 1:
+            # Too few epochs to probe: stay at the current system.
+            self.state = self.RUN
+            return
+        session.stats.probing_trials += 1
+        self._probed = True
+        # Seed the controller with the metrics of the profiled epoch so
+        # the current configuration competes without a second epoch.
+        self._controller = ProbingController(
+            initial=ctx.system,
+            cores_grid=session.config.cores_grid,
+            memory_grid_gb=session.config.memory_grid_gb,
+            frequency_grid_ghz=session.config.frequency_grid_ghz,
+            max_probes=budget,
+            objective=session.config.system_objective,
+        )
+        self.state = self.PROBE
+
+    def _finish_probing(self, ctx: TrialContext, store: bool = True) -> None:
+        assert self._controller is not None
+        best = self._controller.best_system()
+        self._target_system = self.session.clip_to_cluster(best, ctx)
+        self.session.set_start_hint(self.workload, self._target_system)
+        self.state = self.RUN
+        if store and self._features is not None:
+            self.session.ground_truth.add(
+                GroundTruthEntry(
+                    features=self._features,
+                    best_system=self._target_system,
+                    objective_value=max(
+                        (
+                            self.session.config.system_objective(s.duration_s, s.energy_j)
+                            for s in self._controller.samples
+                            if np.isfinite(s.duration_s)
+                        ),
+                        default=0.0,
+                    ),
+                    workload_name=self.workload.name,
+                    created_at=ctx.env.now,
+                )
+            )
+            self.session.stats.entries_stored += 1
+
+
+class PipeTuneSession:
+    """Long-lived PipeTune middleware instance.
+
+    Persistent across HPT jobs (the whole point of ground truth); in a
+    multi-tenant deployment one session serves every job on the
+    cluster.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PipeTuneConfig] = None,
+        max_cores: int = 16,
+        max_memory_gb: float = 32.0,
+        seed: int = 0,
+    ):
+        self.config = config or PipeTuneConfig()
+        self.max_cores = max_cores
+        self.max_memory_gb = max_memory_gb
+        self.ground_truth = GroundTruth(
+            k=self.config.similarity_k,
+            threshold_scale=self.config.threshold_scale,
+            min_entries=self.config.min_entries,
+            seed=seed,
+        )
+        self.stats = PipeTuneStats()
+        self.profiler = EpochProfiler()
+        #: per-workload cache of the configuration the session resolved
+        #: most recently; used only as the *starting* shape of sibling
+        #: trials (profiling + ground truth still run and refine it).
+        self._start_hints: dict = {}
+
+    def augment_features(self, features: np.ndarray, hyper: HyperParams) -> np.ndarray:
+        """Append normalised hyperparameter dimensions when enabled.
+
+        Implements the paper's §5.4 future-work extension: similarity
+        over hyperparameters in addition to PMU profiles. Dimensions
+        are scaled to roughly the magnitude of the log-rate features.
+        """
+        if not self.config.similarity_include_hyper:
+            return features
+        extra = np.array(
+            [
+                math.log2(hyper.batch_size) / 10.0,
+                hyper.dropout,
+                (math.log10(hyper.learning_rate) + 3.0) / 2.0,
+                hyper.embedding_dim / 300.0,
+                min(hyper.epochs, 100) / 100.0,
+            ]
+        )
+        return np.concatenate([features, self.config.hyper_feature_weight * extra])
+
+    def start_hint(self, workload: WorkloadSpec) -> Optional[SystemParams]:
+        return self._start_hints.get(workload.name)
+
+    def set_start_hint(self, workload: WorkloadSpec, system: SystemParams) -> None:
+        self._start_hints[workload.name] = system
+
+    # -- plumbing -------------------------------------------------------------
+    def clip_to_cluster(self, system: SystemParams, ctx=None) -> SystemParams:
+        cores = min(system.cores, self.max_cores)
+        memory = min(system.memory_gb, self.max_memory_gb)
+        if cores == system.cores and memory == system.memory_gb:
+            return system
+        return SystemParams(cores=cores, memory_gb=memory)
+
+    def hooks_factory(
+        self,
+        trial_id: str,
+        workload: WorkloadSpec,
+        hyper: HyperParams,
+        system: SystemParams,
+    ) -> PipeTuneHooks:
+        return PipeTuneHooks(self, trial_id, workload, hyper, system)
+
+    def job_spec(
+        self,
+        workload: WorkloadSpec,
+        algorithm_factory: Optional[Callable[[], SearchAlgorithm]] = None,
+        default_system: SystemParams = DEFAULT_SYSTEM,
+        seed: int = 0,
+        name: str = "",
+        **kwargs,
+    ) -> HptJobSpec:
+        """An :class:`HptJobSpec` running this session's pipeline.
+
+        The hyperparameter level mirrors Tune V1: HyperBand scheduler,
+        accuracy objective.
+        """
+        if algorithm_factory is None:
+            space = paper_hyper_space(nlp=workload.uses_embedding)
+            algorithm_factory = lambda: HyperBand(  # noqa: E731
+                space, max_epochs=9, eta=3, seed=seed
+            )
+        return HptJobSpec(
+            workload=workload,
+            algorithm_factory=algorithm_factory,
+            objective=accuracy_objective,
+            system_policy="hooks",
+            default_system=self.clip_to_cluster(default_system),
+            hooks_factory=self.hooks_factory,
+            name=name or f"pipetune-{workload.name}",
+            **kwargs,
+        )
+
+    # -- warm start --------------------------------------------------------------
+    def warm_start(
+        self,
+        workloads: Sequence[WorkloadSpec],
+        batch_sizes: Sequence[int] = PAPER_BATCH_GRID,
+        repetitions: int = 2,
+    ) -> int:
+        """Seed ground truth from an offline probing campaign (§7.2).
+
+        The paper builds its initial similarity model by training every
+        Table-3 workload under 48 system/batch configurations, twice.
+        We reproduce that campaign analytically: profile each
+        (workload, batch) point, evaluate the full system grid with the
+        performance model, and store the winning configuration.
+        """
+        added = 0
+        for workload in workloads:
+            for batch in batch_sizes:
+                hyper = HyperParams(batch_size=batch)
+                features = self.augment_features(
+                    self._offline_features(workload, hyper, repetitions), hyper
+                )
+                best = self._offline_best_system(workload, hyper, repetitions)
+                self.ground_truth.add(
+                    GroundTruthEntry(
+                        features=features,
+                        best_system=best,
+                        workload_name=workload.name,
+                        created_at=0.0,
+                    )
+                )
+                added += 1
+        self.ground_truth.refit()
+        return added
+
+    def _offline_features(
+        self, workload: WorkloadSpec, hyper: HyperParams, repetitions: int
+    ) -> np.ndarray:
+        system = self.clip_to_cluster(DEFAULT_SYSTEM)
+        config = TrialConfig(workload, hyper, system)
+        profiles = []
+        for rep in range(max(1, repetitions)):
+            cost = epoch_cost(config, epoch=rep)
+            profiles.append(
+                self.profiler.profile_epoch(
+                    config, rep, cost.total_s, active_cores(config, cost)
+                )
+            )
+        return average_profiles(profiles)
+
+    def _offline_best_system(
+        self, workload: WorkloadSpec, hyper: HyperParams, repetitions: int
+    ) -> SystemParams:
+        controller = ProbingController(
+            initial=self.clip_to_cluster(DEFAULT_SYSTEM),
+            cores_grid=[c for c in self.config.cores_grid if c <= self.max_cores],
+            memory_grid_gb=[
+                m for m in self.config.memory_grid_gb if m <= self.max_memory_gb
+            ],
+            max_probes=10**6,
+            objective=self.config.system_objective,
+        )
+        epoch_index = 0
+        while True:
+            candidate = controller.next_config()
+            if candidate is None:
+                break
+            config = TrialConfig(workload, hyper, candidate)
+            durations, energies = [], []
+            for rep in range(max(1, repetitions)):
+                cost = epoch_cost(config, epoch=1000 + epoch_index * 10 + rep)
+                busy = active_cores(config, cost)
+                spec = None
+                durations.append(cost.total_s)
+                # Energy model mirrors the trainer's attribution.
+                energies.append(
+                    (busy * 11.5 + 60.0 * candidate.cores / self.max_cores)
+                    * cost.total_s
+                )
+            controller.record(
+                ProbeSample(
+                    system=candidate,
+                    duration_s=float(np.mean(durations)),
+                    energy_j=float(np.mean(energies)),
+                )
+            )
+            epoch_index += 1
+        return controller.best_system()

@@ -1,0 +1,135 @@
+"""Epoch-granular workload profiler built on the simulated PMU.
+
+PipeTune's profiling phase (§5.3) samples the event set every second
+during an epoch and stores the per-epoch average — that average vector
+is the workload's fingerprint used by the ground-truth phase.
+
+:class:`EpochProfiler` reproduces that: it divides an epoch into 1 s
+sampling windows, reads the PMU per window, averages, and produces an
+:class:`EpochProfile` whose :meth:`~EpochProfile.feature_vector` is the
+log-scaled representation consumed by the clustering similarity
+function.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..workloads.spec import TrialConfig
+from .events import EVENT_NAMES, NUM_EVENTS
+from .pmu import Pmu
+
+#: paper samples events every second (§5.3).
+SAMPLE_PERIOD_S = 1.0
+
+#: relative CPU overhead the profiler adds to a profiled epoch
+#: (perf's sampling cost; kept small — §7.3 "profiling overhead").
+PROFILING_OVERHEAD = 0.015
+
+
+@dataclass
+class EpochProfile:
+    """Averaged per-epoch event profile of one trial epoch."""
+
+    workload: str
+    epoch: int
+    duration_s: float
+    avg_events_per_s: np.ndarray  # shape (58,)
+    samples: int
+
+    def __post_init__(self):
+        if self.avg_events_per_s.shape != (NUM_EVENTS,):
+            raise ValueError("profile vector must have 58 entries")
+
+    def feature_vector(self, normalise: bool = True) -> np.ndarray:
+        """log-scaled event profile — the clustering feature space.
+
+        Event rates span > 6 decades (Fig 2's colour scale), so raw
+        rates would let a single event dominate Euclidean distances;
+        we work in log10.
+
+        With ``normalise=True`` (the default used by the ground-truth
+        phase), each log-rate is taken relative to the instruction
+        rate. Absolute rates scale with the number of busy cores, so a
+        workload profiled at 4 cores would otherwise look nothing like
+        itself profiled at 16 cores; instruction-relative rates cancel
+        that factor while preserving the per-event mix that identifies
+        the workload.
+        """
+        logs = np.log10(1.0 + np.maximum(0.0, self.avg_events_per_s))
+        if not normalise:
+            return logs
+        from .events import event_index  # local import avoids a cycle
+
+        return logs - logs[event_index("instructions")]
+
+    def events_per_epoch(self) -> np.ndarray:
+        """Average total occurrences per epoch (Fig 2's cell values)."""
+        return self.avg_events_per_s * self.duration_s
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(zip(EVENT_NAMES, self.avg_events_per_s))
+
+
+class EpochProfiler:
+    """Samples the PMU at 1 Hz across an epoch and averages."""
+
+    def __init__(self, pmu: Optional[Pmu] = None):
+        self.pmu = pmu or Pmu()
+
+    def overhead_factor(self) -> float:
+        """Multiplier on epoch duration while profiling is active."""
+        return 1.0 + PROFILING_OVERHEAD
+
+    def profile_epoch(
+        self,
+        config: TrialConfig,
+        epoch: int,
+        duration_s: float,
+        busy_cores: float,
+        noisy: bool = True,
+    ) -> EpochProfile:
+        """Profile one epoch of a trial.
+
+        The epoch is split into ceil(duration) one-second windows (the
+        last one possibly fractional); each window is one PMU read with
+        multiplexing; the profile stores the average rate.
+        """
+        if duration_s <= 0:
+            raise ValueError("epoch duration must be positive")
+        windows = max(1, math.ceil(duration_s / SAMPLE_PERIOD_S))
+        # Sampling every simulated second individually would dominate
+        # run time for minute-long epochs; counts are linear in window
+        # length, so we batch the windows into a handful of strata and
+        # keep per-stratum multiplexing noise.
+        strata = min(windows, 8)
+        total = np.zeros(NUM_EVENTS)
+        remaining = duration_s
+        for s in range(strata):
+            span = remaining / (strata - s)
+            remaining -= span
+            total += self.pmu.final_counts(
+                config,
+                span,
+                busy_cores,
+                epoch=epoch * 1000 + s,
+                noisy=noisy,
+            )
+        return EpochProfile(
+            workload=config.workload.name,
+            epoch=epoch,
+            duration_s=duration_s,
+            avg_events_per_s=total / duration_s,
+            samples=windows,
+        )
+
+
+def average_profiles(profiles: List[EpochProfile]) -> np.ndarray:
+    """Mean feature vector over several epoch profiles."""
+    if not profiles:
+        raise ValueError("need at least one profile")
+    return np.mean([p.feature_vector() for p in profiles], axis=0)

@@ -1,0 +1,27 @@
+"""EC2 pricing model for the Fig 1 cost extrapolation."""
+
+from .pricing import (
+    M4_4XLARGE,
+    M5_12XLARGE,
+    M5_24XLARGE,
+    PAPER_INSTANCES,
+    InstanceType,
+    cost_table,
+    grid_trial_count,
+    mean_trial_time_s,
+    tuning_cost_usd,
+    tuning_time_s,
+)
+
+__all__ = [
+    "InstanceType",
+    "M4_4XLARGE",
+    "M5_12XLARGE",
+    "M5_24XLARGE",
+    "PAPER_INSTANCES",
+    "cost_table",
+    "grid_trial_count",
+    "mean_trial_time_s",
+    "tuning_cost_usd",
+    "tuning_time_s",
+]

@@ -1,0 +1,39 @@
+"""Experiment harness: one module per table/figure of the paper's §7.
+
+Every module exposes ``run(scale=1.0, seed=0) -> ExperimentResult``;
+``scale < 1`` shrinks seeds/repetitions for fast benchmark runs.
+"""
+
+from . import (
+    fig01_cost,
+    fig02_heatmap,
+    fig03_impact,
+    fig05_contention,
+    fig08_clusters,
+    fig09_convergence,
+    fig10_trialtime,
+    fig11_single_tenancy,
+    fig12_type3,
+    fig13_mt_type12,
+    fig14_mt_type3,
+    table2,
+)
+from .harness import ExperimentResult
+
+#: registry of every reproduced exhibit, in paper order.
+EXHIBITS = {
+    "fig01": fig01_cost,
+    "fig02": fig02_heatmap,
+    "fig03": fig03_impact,
+    "fig05": fig05_contention,
+    "table2": table2,
+    "fig08": fig08_clusters,
+    "fig09": fig09_convergence,
+    "fig10": fig10_trialtime,
+    "fig11": fig11_single_tenancy,
+    "fig12": fig12_type3,
+    "fig13": fig13_mt_type12,
+    "fig14": fig14_mt_type3,
+}
+
+__all__ = ["EXHIBITS", "ExperimentResult"]

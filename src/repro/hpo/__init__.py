@@ -1,0 +1,51 @@
+"""Hyperparameter-optimisation algorithms and search spaces."""
+
+from .asha import Asha
+from .algorithms import (
+    GridSearch,
+    Observation,
+    RandomSearch,
+    SearchAlgorithm,
+    Suggestion,
+)
+from .bayesian import BayesianOptimisation, GaussianProcess, expected_improvement
+from .genetic import GeneticSearch
+from .hyperband import HyperBand
+from .pbt import PopulationBasedTraining
+from .space import (
+    Choice,
+    Domain,
+    IntUniform,
+    LogUniform,
+    SearchSpace,
+    Uniform,
+    joint_space,
+    paper_hyper_space,
+    paper_system_space,
+    split_config,
+)
+
+__all__ = [
+    "Asha",
+    "BayesianOptimisation",
+    "Choice",
+    "Domain",
+    "GaussianProcess",
+    "GeneticSearch",
+    "GridSearch",
+    "HyperBand",
+    "IntUniform",
+    "LogUniform",
+    "Observation",
+    "PopulationBasedTraining",
+    "RandomSearch",
+    "SearchAlgorithm",
+    "SearchSpace",
+    "Suggestion",
+    "Uniform",
+    "expected_improvement",
+    "joint_space",
+    "paper_hyper_space",
+    "paper_system_space",
+    "split_config",
+]

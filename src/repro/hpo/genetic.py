@@ -1,0 +1,121 @@
+"""Genetic-algorithm search (evolutionary HPO, cf. Young et al. 2015).
+
+Generational GA on the unit-cube encoding of the search space:
+tournament selection, uniform crossover, gaussian mutation, elitism.
+One of the optimisation algorithms PipeTune inherits from its tuning
+library (Fig 7 lists "Genetic optimization").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .algorithms import Observation, SearchAlgorithm, Suggestion
+from .space import SearchSpace
+
+
+class GeneticSearch(SearchAlgorithm):
+    """(mu, lambda)-style generational GA over the search space."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        population: int = 8,
+        generations: int = 4,
+        epochs: int = 10,
+        tournament: int = 3,
+        crossover_rate: float = 0.9,
+        mutation_sigma: float = 0.15,
+        elitism: int = 1,
+        seed: int = 0,
+    ):
+        if population < 2:
+            raise ValueError("population must be >= 2")
+        if generations < 1:
+            raise ValueError("generations must be >= 1")
+        if not 0 < crossover_rate <= 1:
+            raise ValueError("crossover_rate must be in (0, 1]")
+        if elitism >= population:
+            raise ValueError("elitism must be < population")
+        super().__init__(space, seed=seed)
+        self.population = population
+        self.generations = generations
+        self.tournament = max(2, tournament)
+        self.crossover_rate = crossover_rate
+        self.mutation_sigma = mutation_sigma
+        self.elitism = elitism
+        self._default_epochs = epochs
+        self._generation = 0
+        self._gen_results: List[Observation] = []
+
+    # -- genetic operators -------------------------------------------------
+    def _select(self, ranked: List[Observation]) -> Observation:
+        """Tournament selection over the previous generation."""
+        picks = self._rng.choice(
+            len(ranked), size=min(self.tournament, len(ranked)), replace=False
+        )
+        return max((ranked[i] for i in picks), key=lambda o: o.score)
+
+    def _crossover(self, a: Dict, b: Dict) -> Dict:
+        vec_a = self.space.normalise(a)
+        vec_b = self.space.normalise(b)
+        mask = self._rng.random(len(vec_a)) < 0.5
+        child = np.where(mask, vec_a, vec_b)
+        return self.space.denormalise(child)
+
+    def _mutate(self, config: Dict) -> Dict:
+        vec = self.space.normalise(config)
+        noise = self._rng.normal(0.0, self.mutation_sigma, size=len(vec))
+        mutate_mask = self._rng.random(len(vec)) < 0.35
+        vec = np.clip(vec + noise * mutate_mask, 0.0, 1.0)
+        return self.space.denormalise(vec)
+
+    def _offspring(self, ranked: List[Observation]) -> List[Dict]:
+        children: List[Dict] = [
+            dict(o.params) for o in ranked[: self.elitism]
+        ]
+        while len(children) < self.population:
+            parent_a = self._select(ranked)
+            parent_b = self._select(ranked)
+            if self._rng.random() < self.crossover_rate:
+                child = self._crossover(parent_a.params, parent_b.params)
+            else:
+                child = dict(parent_a.params)
+            children.append(self._mutate(child))
+        return children
+
+    # -- algorithm interface ------------------------------------------------
+    def next_batch(self) -> List[Suggestion]:
+        if self._pending or self._generation >= self.generations:
+            return []
+        if self._generation == 0:
+            configs = [self.space.sample(self._rng) for _ in range(self.population)]
+        else:
+            ranked = sorted(self._gen_results, key=lambda o: o.score, reverse=True)
+            configs = self._offspring(ranked)
+        self._gen_results = []
+        self._generation += 1
+        batch = []
+        for config in configs:
+            epochs = int(config.get("epochs", self._default_epochs))
+            batch.append(
+                self._issue(
+                    Suggestion(
+                        trial_id=self._new_id(f"ga{self._generation - 1}"),
+                        params=config,
+                        target_epochs=epochs,
+                        tag=f"generation{self._generation - 1}",
+                    )
+                )
+            )
+        return batch
+
+    def report(self, observation: Observation) -> None:
+        super().report(observation)
+        self._gen_results.append(observation)
+
+    @property
+    def done(self) -> bool:
+        return self._generation >= self.generations and not self._pending

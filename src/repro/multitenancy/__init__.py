@@ -1,0 +1,20 @@
+"""Multi-tenant FIFO scheduling of HPT jobs (paper §7.4)."""
+
+from .arrivals import JobArrival, generate_arrivals
+from .scheduler import (
+    FifoJobScheduler,
+    JobRecord,
+    MultiTenancyResult,
+    run_multi_tenancy,
+    unseen_variant,
+)
+
+__all__ = [
+    "FifoJobScheduler",
+    "JobArrival",
+    "JobRecord",
+    "MultiTenancyResult",
+    "generate_arrivals",
+    "run_multi_tenancy",
+    "unseen_variant",
+]

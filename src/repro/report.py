@@ -1,0 +1,157 @@
+"""Terminal-friendly rendering of experiment results.
+
+Matplotlib is deliberately not a dependency; the evaluation exhibits
+are line/bar charts simple enough to render as text, which keeps the
+benchmark artefacts (``benchmarks/results/*.txt``) self-contained and
+diff-able. Used by the examples and the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_BAR_CHAR = "█"
+_HALF_CHAR = "▌"
+
+
+def _fmt(value: float) -> str:
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 40,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of labelled non-negative values.
+
+    >>> print(bar_chart([("a", 10.0), ("b", 5.0)], width=10))
+    a  ██████████ 10.0
+    b  █████ 5.00
+    """
+    if not items:
+        raise ValueError("bar_chart needs at least one item")
+    if width < 4:
+        raise ValueError("width too small to draw bars")
+    peak = max(value for _, value in items)
+    if peak < 0:
+        raise ValueError("bar_chart values must be non-negative")
+    label_width = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        if value < 0:
+            raise ValueError("bar_chart values must be non-negative")
+        filled = 0 if peak == 0 else value / peak * width
+        bar = _BAR_CHAR * int(filled)
+        if filled - int(filled) >= 0.5:
+            bar += _HALF_CHAR
+        suffix = f" {_fmt(value)}{unit}"
+        lines.append(f"{label:<{label_width}}  {bar}{suffix}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """ASCII scatter/line chart of multiple (x, y) series.
+
+    Each series gets a distinct marker; points are binned onto a
+    width x height character canvas with axis annotations.
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ValueError("line_chart needs at least one non-empty series")
+    if width < 10 or height < 4:
+        raise ValueError("canvas too small")
+    markers = "*o+x#@%&"
+    all_points = [p for pts in series.values() for p in pts]
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in points:
+            col = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            canvas[row][col] = marker
+
+    lines = [title] if title else []
+    y_labels = [_fmt(y_max), _fmt((y_min + y_max) / 2), _fmt(y_min)]
+    gutter = max(len(s) for s in y_labels) + 1
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            prefix = y_labels[0]
+        elif row_index == height // 2:
+            prefix = y_labels[1]
+        elif row_index == height - 1:
+            prefix = y_labels[2]
+        else:
+            prefix = ""
+        lines.append(f"{prefix:>{gutter}} |" + "".join(row))
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_axis = f"{_fmt(x_min)}{x_label:^{max(0, width - 12)}}{_fmt(x_max)}"
+    lines.append(" " * (gutter + 2) + x_axis)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (gutter + 2) + legend)
+    if y_label:
+        lines.insert(1 if title else 0, f"[y: {y_label}]")
+    return "\n".join(lines)
+
+
+def comparison_summary(
+    baseline_name: str,
+    baseline: float,
+    others: Dict[str, float],
+    lower_is_better: bool = True,
+) -> str:
+    """One-line-per-system percentage comparison against a baseline.
+
+    >>> print(comparison_summary("v1", 100.0, {"pipetune": 80.0}))
+    pipetune vs v1: -20.0% (better)
+    """
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    lines = []
+    for name, value in others.items():
+        delta = 100.0 * (value - baseline) / baseline
+        improved = delta < 0 if lower_is_better else delta > 0
+        verdict = "better" if improved else "worse"
+        lines.append(f"{name} vs {baseline_name}: {delta:+.1f}% ({verdict})")
+    return "\n".join(lines)
+
+
+def convergence_chart(timelines: Dict[str, List], metric: str = "best_accuracy") -> str:
+    """Fig-9-style chart from HptResult timelines.
+
+    ``timelines`` maps system name -> list of TimelinePoint.
+    """
+    series = {}
+    for name, points in timelines.items():
+        series[name] = [
+            (p.wall_time_s, 100.0 * getattr(p, metric))
+            if metric == "best_accuracy"
+            else (p.wall_time_s, getattr(p, metric))
+            for p in points
+        ]
+    return line_chart(
+        series,
+        title="accuracy convergence over tuning wall-clock",
+        x_label="wall time [s]",
+        y_label="best accuracy [%]" if metric == "best_accuracy" else metric,
+    )

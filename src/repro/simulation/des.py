@@ -1,0 +1,447 @@
+"""Generator-based discrete-event simulation engine.
+
+This is the substrate on which the whole reproduction runs: training
+trials, tuning jobs and multi-tenant clusters are simulated processes
+that advance a virtual clock instead of occupying a physical testbed.
+
+The design follows the classic coroutine DES style (simpy-like, but
+self-contained): a :class:`Process` wraps a generator that *yields*
+:class:`Event` objects; the :class:`Environment` owns a priority queue
+of scheduled events and resumes processes when the events they wait on
+fire.
+
+Example
+-------
+>>> env = Environment()
+>>> log = []
+>>> def worker(env, name, delay):
+...     yield env.timeout(delay)
+...     log.append((env.now, name))
+>>> _ = env.process(worker(env, "a", 2.0))
+>>> _ = env.process(worker(env, "b", 1.0))
+>>> env.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural misuse of the simulation engine."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* at most once, either successfully (with an
+    optional value) or with an exception. Callbacks registered before
+    the trigger run when the environment processes the event; callbacks
+    added afterwards run immediately.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event fired without an exception."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Schedule the event to fire successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Schedule the event to fire with ``exception``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.env._schedule(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks or ():
+            callback(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback``; runs immediately if already processed."""
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running coroutine; also an event that fires when it returns.
+
+    The wrapped generator yields events. When a yielded event fires,
+    the process resumes with the event's value (or the event's
+    exception is thrown into the generator).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise TypeError("process requires a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the process at the current time.
+        init = Event(env)
+        init.add_callback(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not yet finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process blocked on an event detaches it from that event.
+        """
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+        interrupt_event = Event(self.env)
+        interrupt_event.add_callback(self._resume)
+        interrupt_event.fail(Interrupt(cause))
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        self.env._active_process = self
+        try:
+            if event._exception is not None:
+                next_event = self._generator.throw(event._exception)
+            else:
+                next_event = self._generator.send(
+                    event._value if event is not None else None
+                )
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - fail the process event
+            # The process body raised (including unhandled Interrupt):
+            # the process event fails and waiters receive the exception.
+            self.env._active_process = None
+            self.fail(error)
+            return
+        self.env._active_process = None
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process yielded non-event {next_event!r}"
+            )
+        if next_event.callbacks is None:
+            # Already processed: resume immediately via a proxy event.
+            proxy = Event(self.env)
+            proxy._value = next_event._value
+            proxy._exception = next_event._exception
+            proxy._triggered = True
+            proxy.add_callback(self._resume)
+            self.env._schedule(proxy)
+            self._target = proxy
+        else:
+            next_event.add_callback(self._resume)
+            self._target = next_event
+
+
+class Condition(Event):
+    """Base for composite events (:class:`AllOf` / :class:`AnyOf`).
+
+    A child counts as *done* once it has been processed (its callbacks
+    ran) — not merely triggered, since e.g. a Timeout is triggered at
+    construction but fires later.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        for event in self._events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.add_callback(self._on_child)
+        self._check_initial()
+
+    def _check_initial(self) -> None:
+        raise NotImplementedError
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        return {
+            i: e._value
+            for i, e in enumerate(self._events)
+            if e.processed and e._exception is None
+        }
+
+
+class AllOf(Condition):
+    """Fires once every child event has fired; value maps index->value."""
+
+    def _check_initial(self) -> None:
+        if not self._triggered and all(e.processed for e in self._events):
+            self.succeed(self._collect())
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        if all(e.processed for e in self._events):
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Fires as soon as any child event fires."""
+
+    def _check_initial(self) -> None:
+        if not self._triggered and any(e.processed for e in self._events):
+            self.succeed(self._collect())
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """Owner of the virtual clock and the pending-event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List = []
+        self._counter = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._counter), event)
+        )
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("step() on empty event queue")
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        event._run_callbacks()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock reaches ``until``."""
+        if until is not None and until < self._now:
+            raise ValueError("run(until) lies in the past")
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+
+class Resource:
+    """A counted resource with a FIFO wait queue (e.g. trial slots)."""
+
+    def __init__(self, env: Environment, capacity: int):
+        if capacity < 1:
+            raise ValueError("resource capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: List[Event] = []
+
+    def request(self) -> Event:
+        """Return an event that fires once a unit is granted."""
+        grant = self.env.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            grant.succeed(self)
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Return one granted unit; wakes the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError("release() without matching request()")
+        if self._waiters:
+            grant = self._waiters.pop(0)
+            grant.succeed(self)
+        else:
+            self.in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+
+class Container:
+    """A divisible resource level (cores, GB of memory) with FIFO gets."""
+
+    def __init__(self, env: Environment, capacity: float, init: Optional[float] = None):
+        if capacity <= 0:
+            raise ValueError("container capacity must be positive")
+        self.env = env
+        self.capacity = float(capacity)
+        self.level = float(capacity if init is None else init)
+        if not 0 <= self.level <= self.capacity:
+            raise ValueError("initial level outside [0, capacity]")
+        self._waiters: List = []  # (amount, event), FIFO
+
+    def get(self, amount: float) -> Event:
+        """Return an event that fires once ``amount`` is available."""
+        if amount <= 0:
+            raise ValueError("get amount must be positive")
+        if amount > self.capacity:
+            raise ValueError(
+                f"requested {amount} exceeds capacity {self.capacity}"
+            )
+        grant = self.env.event()
+        if not self._waiters and amount <= self.level:
+            self.level -= amount
+            grant.succeed(amount)
+        else:
+            self._waiters.append((amount, grant))
+        return grant
+
+    def try_get(self, amount: float) -> bool:
+        """Non-blocking get: take ``amount`` now or leave state untouched.
+
+        Fails when waiters are queued (no overtaking) or the level is
+        short. Used for best-effort resizes that must never introduce
+        hold-and-wait deadlocks between concurrently-growing trials.
+        """
+        if amount <= 0:
+            raise ValueError("get amount must be positive")
+        if not self._waiters and amount <= self.level:
+            self.level -= amount
+            return True
+        return False
+
+    def put(self, amount: float) -> None:
+        """Return ``amount`` to the container and serve FIFO waiters."""
+        if amount <= 0:
+            raise ValueError("put amount must be positive")
+        if self.level + amount > self.capacity + 1e-9:
+            raise SimulationError("container overfull on put()")
+        self.level += amount
+        # Serve strictly in FIFO order; head-of-line blocking is
+        # deliberate (matches a FIFO cluster allocator).
+        while self._waiters and self._waiters[0][0] <= self.level:
+            need, grant = self._waiters.pop(0)
+            self.level -= need
+            grant.succeed(need)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)

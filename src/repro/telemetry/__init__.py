@@ -1,0 +1,5 @@
+"""Telemetry: run metrics streamed into the time-series store."""
+
+from .recorder import MetricsRecorder, RecordingHooks
+
+__all__ = ["MetricsRecorder", "RecordingHooks"]

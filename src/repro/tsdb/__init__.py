@@ -1,0 +1,6 @@
+"""Embedded time-series store (InfluxDB stand-in)."""
+
+from .point import Point
+from .store import TimeSeriesStore
+
+__all__ = ["Point", "TimeSeriesStore"]

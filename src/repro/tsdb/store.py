@@ -1,0 +1,182 @@
+"""Embedded time-series store: the reproduction's InfluxDB stand-in.
+
+Supports the operations PipeTune needs from its storage backend (§6):
+
+* append-only writes of tagged points,
+* range queries filtered by measurement / tags / time window,
+* window aggregation (mean/sum/min/max per fixed-width bucket),
+* JSON-lines persistence so ground-truth data survives across jobs.
+
+Points are kept per measurement in time order (bisect-inserted), so
+range queries are O(log n + k).
+"""
+
+from __future__ import annotations
+
+import bisect
+import io
+import json
+import os
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
+
+from .point import Point
+
+_AGGREGATORS: Dict[str, Callable[[List[float]], float]] = {
+    "mean": lambda xs: sum(xs) / len(xs),
+    "sum": sum,
+    "min": min,
+    "max": max,
+    "count": len,
+    "last": lambda xs: xs[-1],
+    "first": lambda xs: xs[0],
+}
+
+
+class TimeSeriesStore:
+    """In-memory tagged time-series database with JSON persistence."""
+
+    def __init__(self):
+        self._series: Dict[str, List[Point]] = defaultdict(list)
+        self._times: Dict[str, List[float]] = defaultdict(list)
+
+    # -- writes -----------------------------------------------------------
+    def write(self, point: Point) -> None:
+        """Insert one point, keeping the measurement time-ordered."""
+        times = self._times[point.measurement]
+        index = bisect.bisect_right(times, point.time)
+        times.insert(index, point.time)
+        self._series[point.measurement].insert(index, point)
+
+    def write_many(self, points: Iterable[Point]) -> int:
+        count = 0
+        for point in points:
+            self.write(point)
+            count += 1
+        return count
+
+    # -- reads -------------------------------------------------------------
+    def measurements(self) -> List[str]:
+        return sorted(m for m, pts in self._series.items() if pts)
+
+    def __len__(self) -> int:
+        return sum(len(pts) for pts in self._series.values())
+
+    def query(
+        self,
+        measurement: str,
+        tags: Optional[Mapping[str, str]] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[Point]:
+        """Points of a measurement within ``[start, end)`` matching tags."""
+        points = self._series.get(measurement, [])
+        times = self._times.get(measurement, [])
+        lo = 0 if start is None else bisect.bisect_left(times, start)
+        hi = len(points) if end is None else bisect.bisect_left(times, end)
+        window = points[lo:hi]
+        if tags:
+            window = [p for p in window if p.matches(tags)]
+        return window
+
+    def field_values(
+        self,
+        measurement: str,
+        field: str,
+        tags: Optional[Mapping[str, str]] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[float]:
+        """The values of one field over a query window, in time order."""
+        return [
+            p.fields[field]
+            for p in self.query(measurement, tags=tags, start=start, end=end)
+            if field in p.fields
+        ]
+
+    def aggregate_windows(
+        self,
+        measurement: str,
+        field: str,
+        window_s: float,
+        agg: str = "mean",
+        tags: Optional[Mapping[str, str]] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[tuple]:
+        """Aggregate a field into fixed-width time buckets.
+
+        Returns ``[(bucket_start_time, aggregated_value), ...]`` for
+        non-empty buckets, matching Influx's ``GROUP BY time(...)``.
+        """
+        if window_s <= 0:
+            raise ValueError("window width must be positive")
+        try:
+            aggregator = _AGGREGATORS[agg]
+        except KeyError:
+            raise ValueError(
+                f"unknown aggregator {agg!r}; choose from {sorted(_AGGREGATORS)}"
+            ) from None
+        points = self.query(measurement, tags=tags, start=start, end=end)
+        if not points:
+            return []
+        origin = start if start is not None else points[0].time
+        buckets: Dict[int, List[float]] = defaultdict(list)
+        for p in points:
+            if field not in p.fields:
+                continue
+            buckets[int((p.time - origin) // window_s)].append(p.fields[field])
+        return [
+            (origin + index * window_s, aggregator(values))
+            for index, values in sorted(buckets.items())
+        ]
+
+    # -- persistence ---------------------------------------------------------
+    def dump(self, stream: io.TextIOBase) -> int:
+        """Write every point as one JSON line; returns the point count."""
+        count = 0
+        for measurement in self.measurements():
+            for point in self._series[measurement]:
+                stream.write(
+                    json.dumps(
+                        {
+                            "measurement": point.measurement,
+                            "time": point.time,
+                            "tags": dict(point.tags),
+                            "fields": dict(point.fields),
+                        }
+                    )
+                )
+                stream.write("\n")
+                count += 1
+        return count
+
+    def save(self, path: str) -> int:
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            count = self.dump(handle)
+        os.replace(tmp, path)
+        return count
+
+    @classmethod
+    def load_stream(cls, stream: io.TextIOBase) -> "TimeSeriesStore":
+        store = cls()
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            store.write(
+                Point(
+                    measurement=record["measurement"],
+                    time=record["time"],
+                    tags=record.get("tags", {}),
+                    fields=record.get("fields", {}),
+                )
+            )
+        return store
+
+    @classmethod
+    def load(cls, path: str) -> "TimeSeriesStore":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.load_stream(handle)

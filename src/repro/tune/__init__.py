@@ -1,0 +1,46 @@
+"""Tune-like HPT-job execution layer (trials, objectives, runner)."""
+
+from .objectives import (
+    OBJECTIVES,
+    Objective,
+    accuracy_objective,
+    accuracy_per_time_objective,
+    energy_system_objective,
+    runtime_system_objective,
+)
+from .errors import TrialError, TrialOutOfMemory
+from .runner import (
+    DEFAULT_SYSTEM,
+    HptJobRunner,
+    HptJobSpec,
+    HptResult,
+    TimelinePoint,
+    TrialFailure,
+    run_hpt_job,
+)
+from .trainer import TrialContext, TrialHooks, run_trial, trial_energy_j
+from .trial import EpochRecord, TrialResult
+
+__all__ = [
+    "DEFAULT_SYSTEM",
+    "EpochRecord",
+    "HptJobRunner",
+    "HptJobSpec",
+    "HptResult",
+    "OBJECTIVES",
+    "Objective",
+    "TimelinePoint",
+    "TrialContext",
+    "TrialError",
+    "TrialFailure",
+    "TrialHooks",
+    "TrialOutOfMemory",
+    "TrialResult",
+    "accuracy_objective",
+    "accuracy_per_time_objective",
+    "energy_system_objective",
+    "run_hpt_job",
+    "run_trial",
+    "runtime_system_objective",
+    "trial_energy_j",
+]

@@ -1,0 +1,31 @@
+"""Trial failure taxonomy.
+
+Real tuning clusters lose trials: a sampled configuration whose
+working set vastly exceeds its memory allocation does not merely run
+slowly — the JVM heap blows up and the trial dies. The runner treats
+these as reportable failures (the search algorithm sees a score of
+-inf) instead of crashing the whole HPT job.
+"""
+
+from __future__ import annotations
+
+
+class TrialError(RuntimeError):
+    """Base class for failures that abort a single training trial."""
+
+    def __init__(self, trial_id: str, message: str):
+        super().__init__(f"trial {trial_id}: {message}")
+        self.trial_id = trial_id
+
+
+class TrialOutOfMemory(TrialError):
+    """The trial's working set exceeded its allocation beyond recovery."""
+
+    def __init__(self, trial_id: str, working_set_gb: float, memory_gb: float):
+        super().__init__(
+            trial_id,
+            f"out of memory (working set {working_set_gb:.1f} GB on "
+            f"{memory_gb:.1f} GB allocation)",
+        )
+        self.working_set_gb = working_set_gb
+        self.memory_gb = memory_gb

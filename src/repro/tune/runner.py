@@ -1,0 +1,317 @@
+"""The HPT-job runner: executes a whole hyperparameter-tuning job.
+
+Reproduces the Tune-like tuning flow of paper Fig 6: an HPT job takes
+a workload, a search space, parameter ranges and an objective, spawns
+training trials under a search algorithm, and outputs the optimal
+parameters plus the tuning timeline.
+
+Three *system policies* cover the paper's three compared systems:
+
+* ``v1``   — every trial runs with the same default system parameters
+             (Tune V1, Baseline I);
+* ``v2``   — system parameters are part of the search space and each
+             trial uses its sampled values (Tune V2, Baseline II);
+* custom hooks (PipeTune) — trials start from the default system
+             parameters and the hook pipeline adjusts them per epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..hpo.algorithms import Observation, SearchAlgorithm, Suggestion
+from ..hpo.space import split_config
+from ..simulation.cluster import SimCluster
+from ..simulation.des import Environment, Resource
+from ..workloads.spec import HyperParams, SystemParams, WorkloadSpec
+from .errors import TrialError
+from .objectives import Objective, accuracy_objective
+from .trainer import TrialHooks, run_trial
+from .trial import TrialResult
+
+
+@dataclass
+class TrialFailure:
+    """A trial that died (e.g. OOM) instead of finishing."""
+
+    trial_id: str
+    error: TrialError
+    failed_at: float
+
+#: system parameters used when a job does not tune them (Tune V1 and
+#: the starting point of PipeTune trials): half the node's cores (the
+#: typical executor default of the paper's BigDL/Spark stack) and
+#: enough memory to never spill.
+DEFAULT_SYSTEM = SystemParams(cores=8, memory_gb=32.0)
+
+HooksFactory = Callable[[str, WorkloadSpec, HyperParams, SystemParams], TrialHooks]
+
+
+@dataclass
+class TimelinePoint:
+    """One completed trial on the tuning wall-clock (Figs 9 & 10)."""
+
+    wall_time_s: float
+    trial_id: str
+    trial_accuracy: float
+    trial_training_time_s: float
+    best_score: float
+    best_accuracy: float
+
+
+@dataclass
+class HptJobSpec:
+    """Specification of one hyperparameter-tuning job."""
+
+    workload: WorkloadSpec
+    algorithm_factory: Callable[[], SearchAlgorithm]
+    objective: Objective = accuracy_objective
+    system_policy: str = "v1"  # "v1" | "v2" | "hooks"
+    default_system: SystemParams = DEFAULT_SYSTEM
+    hooks_factory: Optional[HooksFactory] = None
+    contention: float = 1.0
+    noisy: bool = True
+    name: str = ""
+    #: upper bound on concurrent trials per job; within it, how many
+    #: trials actually run in parallel is decided by the cluster's
+    #: free cores/memory — jobs whose trials have smaller footprints
+    #: (PipeTune after downsizing) pack more trials per node.
+    max_concurrent: int = 16
+    #: one-time cost per trial for reshaping executor resources. Zero
+    #: for v1 (all trials share the default shape, executors stay
+    #: warm); the v2 policy pays an executor restart per trial.
+    trial_setup_s: float = 0.0
+    #: optional decorator applied to every trial's hooks (telemetry
+    #: recording, tracing) regardless of the system policy.
+    hooks_wrapper: Optional[Callable[[TrialHooks], TrialHooks]] = None
+    #: failure injection: working-set-to-memory ratio beyond which a
+    #: trial dies with OOM. None (default) disables trial failures.
+    oom_threshold: Optional[float] = None
+
+    def __post_init__(self):
+        if self.system_policy not in ("v1", "v2", "hooks"):
+            raise ValueError("system_policy must be 'v1', 'v2' or 'hooks'")
+        if self.system_policy == "hooks" and self.hooks_factory is None:
+            raise ValueError("hooks policy requires a hooks_factory")
+        if self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+
+
+@dataclass
+class HptResult:
+    """Outcome of one HPT job."""
+
+    job_name: str
+    workload: WorkloadSpec
+    best_hyper: Optional[HyperParams]
+    best_system: Optional[SystemParams]
+    best_accuracy: float
+    best_training_time_s: float
+    tuning_time_s: float
+    tuning_energy_j: float
+    submitted_at: float
+    finished_at: float
+    trials: List[TrialResult] = field(default_factory=list)
+    timeline: List[TimelinePoint] = field(default_factory=list)
+    failures: List[TrialFailure] = field(default_factory=list)
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+    @property
+    def num_failures(self) -> int:
+        return len(self.failures)
+
+    @property
+    def response_time_s(self) -> float:
+        """Submission-to-completion latency (multi-tenancy metric)."""
+        return self.finished_at - self.submitted_at
+
+
+class HptJobRunner:
+    """Executes one :class:`HptJobSpec` as a DES process."""
+
+    def __init__(self, env: Environment, cluster: SimCluster, spec: HptJobSpec):
+        self.env = env
+        self.cluster = cluster
+        self.spec = spec
+        #: results per trial id (latest segment wins, for resumed trials)
+        self._results: Dict[str, TrialResult] = {}
+
+    def _clip_to_cluster(self, system: SystemParams) -> SystemParams:
+        """Clamp a system request to what the largest node can host."""
+        max_cores = max(n.spec.cores for n in self.cluster.nodes)
+        max_mem = max(n.spec.memory_gb for n in self.cluster.nodes)
+        if system.cores <= max_cores and system.memory_gb <= max_mem:
+            return system
+        return SystemParams(
+            cores=min(system.cores, max_cores),
+            memory_gb=min(system.memory_gb, max_mem),
+        )
+
+    def _system_for(self, suggestion: Suggestion) -> SystemParams:
+        if self.spec.system_policy == "v2":
+            _, system = split_config(suggestion.params)
+            if system is None:
+                raise ValueError(
+                    "v2 policy needs cores/memory_gb in the search space"
+                )
+            return self._clip_to_cluster(system)
+        return self._clip_to_cluster(self.spec.default_system)
+
+    def _hooks_for(
+        self, suggestion: Suggestion, hyper: HyperParams, system: SystemParams
+    ) -> TrialHooks:
+        if self.spec.system_policy == "hooks":
+            assert self.spec.hooks_factory is not None
+            hooks = self.spec.hooks_factory(
+                suggestion.trial_id, self.spec.workload, hyper, system
+            )
+        else:
+            hooks = TrialHooks()
+        if self.spec.hooks_wrapper is not None:
+            hooks = self.spec.hooks_wrapper(hooks)
+        return hooks
+
+    def _gated_trial(self, slots: Resource, **kwargs) -> Generator:
+        """Run one trial once a concurrency slot frees up.
+
+        Trial-level failures (OOM etc.) are contained here and turned
+        into :class:`TrialFailure` values so one dead trial never
+        aborts the whole HPT job.
+        """
+        yield slots.request()
+        try:
+            result = yield from run_trial(**kwargs)
+        except TrialError as error:
+            return TrialFailure(
+                trial_id=kwargs["trial_id"],
+                error=error,
+                failed_at=self.env.now,
+            )
+        finally:
+            slots.release()
+        return result
+
+    def run(self) -> Generator:
+        """DES process generator; its value is the :class:`HptResult`."""
+        spec = self.spec
+        algorithm = spec.algorithm_factory()
+        slots = Resource(self.env, spec.max_concurrent)
+        submitted = self.env.now
+        best_score = float("-inf")
+        best_result: Optional[TrialResult] = None
+        timeline: List[TimelinePoint] = []
+        failures: List[TrialFailure] = []
+        total_energy = 0.0
+
+        while not algorithm.done:
+            batch = algorithm.next_batch()
+            if not batch:
+                if algorithm.pending_count:
+                    raise RuntimeError(
+                        "search algorithm stalled with pending trials"
+                    )
+                break
+            processes = []
+            for suggestion in batch:
+                hyper, _ = split_config(suggestion.params)
+                system = self._system_for(suggestion)
+                hooks = self._hooks_for(suggestion, hyper, system)
+                processes.append(
+                    (
+                        suggestion,
+                        self.env.process(
+                            self._gated_trial(
+                                slots,
+                                env=self.env,
+                                cluster=self.cluster,
+                                trial_id=f"{spec.name}/{suggestion.trial_id}"
+                                if spec.name
+                                else suggestion.trial_id,
+                                workload=spec.workload,
+                                hyper=hyper,
+                                system=system,
+                                start_epoch=suggestion.start_epoch,
+                                target_epochs=suggestion.target_epochs,
+                                hooks=hooks,
+                                contention=spec.contention,
+                                noisy=spec.noisy,
+                                setup_cost_s=spec.trial_setup_s,
+                                oom_threshold=spec.oom_threshold,
+                            )
+                        ),
+                    )
+                )
+            yield self.env.all_of([proc for _, proc in processes])
+            for suggestion, proc in processes:
+                outcome = proc.value
+                if isinstance(outcome, TrialFailure):
+                    failures.append(outcome)
+                    # the search algorithm sees a failed observation:
+                    # worst possible score, so it is never promoted.
+                    algorithm.report(
+                        Observation(
+                            trial_id=suggestion.trial_id,
+                            params=suggestion.params,
+                            score=float("-inf"),
+                            accuracy=0.0,
+                            training_time_s=float("inf"),
+                            epochs_run=suggestion.target_epochs,
+                            extra={"failed": True},
+                        )
+                    )
+                    continue
+                result: TrialResult = outcome
+                self._results[suggestion.trial_id] = result
+                total_energy += result.energy_j
+                score = spec.objective(result)
+                algorithm.report(
+                    Observation(
+                        trial_id=suggestion.trial_id,
+                        params=suggestion.params,
+                        score=score,
+                        accuracy=result.accuracy,
+                        training_time_s=result.full_training_time_estimate(),
+                        epochs_run=result.epochs_run,
+                    )
+                )
+                if score > best_score:
+                    best_score = score
+                    best_result = result
+                timeline.append(
+                    TimelinePoint(
+                        wall_time_s=self.env.now - submitted,
+                        trial_id=suggestion.trial_id,
+                        trial_accuracy=result.accuracy,
+                        trial_training_time_s=result.full_training_time_estimate(),
+                        best_score=best_score,
+                        best_accuracy=best_result.accuracy if best_result else 0.0,
+                    )
+                )
+
+        finished = self.env.now
+        return HptResult(
+            job_name=spec.name or spec.workload.name,
+            workload=spec.workload,
+            best_hyper=best_result.hyper if best_result else None,
+            best_system=best_result.final_system if best_result else None,
+            best_accuracy=best_result.accuracy if best_result else 0.0,
+            best_training_time_s=(
+                best_result.full_training_time_estimate() if best_result else 0.0
+            ),
+            tuning_time_s=finished - submitted,
+            tuning_energy_j=total_energy,
+            submitted_at=submitted,
+            finished_at=finished,
+            trials=list(self._results.values()),
+            timeline=timeline,
+            failures=failures,
+        )
+
+
+def run_hpt_job(env: Environment, cluster: SimCluster, spec: HptJobSpec):
+    """Convenience: spawn the runner and return its Process event."""
+    return env.process(HptJobRunner(env, cluster, spec).run())

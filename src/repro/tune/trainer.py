@@ -1,0 +1,264 @@
+"""The trial trainer: a DES process executing one training segment.
+
+This is the reproduction's equivalent of a BigDL training job. The
+trainer:
+
+* allocates cores + memory on the simulated cluster,
+* iterates epochs, drawing their durations and accuracies from the
+  workload models,
+* raises/lowers the node's busy-core count around each epoch so the
+  power model sees the load,
+* lets a :class:`TrialHooks` instance observe epochs and adjust the
+  system parameters at epoch boundaries — the hook mechanism is how
+  PipeTune pipelines its system tuning inside a running trial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ..counters.profiler import EpochProfiler
+from ..simulation.cluster import Allocation, SimCluster
+from ..simulation.des import Environment
+from ..workloads.accuracy import accuracy_at_epoch
+from ..workloads.perfmodel import active_cores, epoch_cost, working_set_gb
+from .errors import TrialOutOfMemory
+from ..workloads.spec import (
+    BASE_CPU_FREQ_GHZ,
+    HyperParams,
+    SystemParams,
+    TrialConfig,
+    WorkloadSpec,
+    stable_seed,
+)
+from .trial import EpochRecord, TrialResult
+
+
+@dataclass
+class TrialContext:
+    """Mutable view of a running trial, handed to hooks."""
+
+    trial_id: str
+    env: Environment
+    cluster: SimCluster
+    workload: WorkloadSpec
+    hyper: HyperParams
+    system: SystemParams
+    allocation: Optional[Allocation] = None
+    records: list = field(default_factory=list)
+    #: epoch the trial will stop after (HyperBand rungs may be shorter
+    #: than ``hyper.epochs``); hooks use it to budget probing.
+    target_epochs: int = 0
+    start_epoch: int = 0
+
+    @property
+    def config(self) -> TrialConfig:
+        return TrialConfig(self.workload, self.hyper, self.system)
+
+
+class TrialHooks:
+    """Default no-op hooks: plain training with fixed system params."""
+
+    def on_start(self, ctx: TrialContext) -> None:
+        """Called once the allocation is granted, before epoch 1."""
+
+    def before_epoch(self, ctx: TrialContext, epoch: int) -> Optional[SystemParams]:
+        """Return new system params to apply for this epoch, or None."""
+        return None
+
+    def wants_profiling(self, ctx: TrialContext, epoch: int) -> bool:
+        """Whether the PMU profiler should sample this epoch."""
+        return False
+
+    def is_probe_epoch(self, ctx: TrialContext, epoch: int) -> bool:
+        """Whether this epoch is a system-parameter probe sub-trial."""
+        return False
+
+    def epoch_extra_delay_s(self, ctx: TrialContext, epoch: int) -> float:
+        """Extra wall time this hook adds to the epoch.
+
+        PipeTune's pipelined design keeps this at zero (decisions run
+        concurrently with training); the non-pipelined ablation makes
+        tuning decisions on the critical path and returns a positive
+        delay here.
+        """
+        return 0.0
+
+    def after_epoch(self, ctx: TrialContext, record: EpochRecord) -> None:
+        """Called with the finished epoch's record."""
+
+    def on_end(self, ctx: TrialContext, result: TrialResult) -> None:
+        """Called after the allocation is released."""
+
+
+def trial_energy_j(
+    workload: WorkloadSpec,
+    system: SystemParams,
+    allocation: Allocation,
+    busy_cores: float,
+    duration_s: float,
+) -> float:
+    """Energy attributable to one epoch of one trial.
+
+    Active cores draw the node's per-core power; the trial is also
+    billed its proportional share of the node's idle draw (the paper
+    reports whole-cluster energy, so idle attribution keeps per-trial
+    sums consistent with the cluster meter).
+    """
+    spec = allocation.node.spec
+    idle_share = spec.idle_watts * (allocation.cores / spec.cores)
+    # DVFS: dynamic power scales ~quadratically with clock (P ~ f V^2
+    # with V roughly linear in f over the usable range).
+    dvfs = (system.cpu_freq_ghz / BASE_CPU_FREQ_GHZ) ** 2
+    return (busy_cores * spec.core_watts * dvfs + idle_share) * duration_s
+
+
+def run_trial(
+    env: Environment,
+    cluster: SimCluster,
+    trial_id: str,
+    workload: WorkloadSpec,
+    hyper: HyperParams,
+    system: SystemParams,
+    start_epoch: int = 0,
+    target_epochs: Optional[int] = None,
+    hooks: Optional[TrialHooks] = None,
+    profiler: Optional[EpochProfiler] = None,
+    contention: float = 1.0,
+    noisy: bool = True,
+    setup_cost_s: float = 0.0,
+    oom_threshold: Optional[float] = None,
+) -> Generator:
+    """DES process: run epochs ``start_epoch+1 .. target_epochs``.
+
+    Returns a :class:`TrialResult` (via the process event's value).
+    ``start_epoch > 0`` resumes from a checkpoint: earlier epochs cost
+    nothing (their state is on disk) but still count toward the
+    learning curve.
+
+    ``setup_cost_s`` is charged once after the allocation is granted:
+    reshaping a trial's resources before it starts means restarting
+    the executor stack with a different core/memory shape, which the
+    Tune V2 baseline pays per trial (§4 "requires the resources used
+    by each trial to be manually controlled"). PipeTune avoids it by
+    resizing in place at epoch boundaries.
+
+    ``oom_threshold`` enables failure injection: when the trial's
+    working set exceeds ``oom_threshold`` times its memory allocation,
+    the trial thrashes for half an epoch and dies with
+    :class:`TrialOutOfMemory` (resources are still released). ``None``
+    disables failures — memory shortage then only slows the trial via
+    the pressure penalty, as in the paper's reported runs.
+    """
+    hooks = hooks or TrialHooks()
+    profiler = profiler or EpochProfiler()
+    epochs = target_epochs if target_epochs is not None else hyper.epochs
+    if epochs <= start_epoch:
+        raise ValueError("target epochs must exceed start_epoch")
+    trial_seed = stable_seed("trial", trial_id, workload.name)
+
+    start_time = env.now
+    allocation = yield from cluster.allocate(system.cores, system.memory_gb)
+    ctx = TrialContext(
+        trial_id=trial_id,
+        env=env,
+        cluster=cluster,
+        workload=workload,
+        hyper=hyper,
+        system=system,
+        allocation=allocation,
+        target_epochs=epochs,
+        start_epoch=start_epoch,
+    )
+    hooks.on_start(ctx)
+    if setup_cost_s < 0:
+        raise ValueError("setup_cost_s must be >= 0")
+    if setup_cost_s:
+        yield env.timeout(setup_cost_s)
+
+    total_time = 0.0
+    total_energy = 0.0
+    accuracy = 0.0
+    try:
+        for epoch in range(start_epoch + 1, epochs + 1):
+            desired = hooks.before_epoch(ctx, epoch)
+            if desired is not None and desired != ctx.system:
+                # Best-effort reshape: a grow the node cannot satisfy
+                # right now is skipped (this epoch runs at the old
+                # shape) rather than blocking training mid-trial.
+                if allocation.try_resize(desired.cores, desired.memory_gb):
+                    ctx.system = desired
+                else:
+                    ctx.system = SystemParams(
+                        cores=allocation.cores,
+                        memory_gb=allocation.memory_gb,
+                    )
+
+            if oom_threshold is not None:
+                working_set = working_set_gb(workload, hyper)
+                if working_set > oom_threshold * ctx.system.memory_gb:
+                    # thrash for half an epoch before the OOM killer hits
+                    thrash = epoch_cost(
+                        ctx.config, epoch=epoch, contention=contention, noisy=noisy
+                    )
+                    yield env.timeout(0.5 * thrash.total_s)
+                    raise TrialOutOfMemory(
+                        trial_id, working_set, ctx.system.memory_gb
+                    )
+            cost = epoch_cost(
+                ctx.config, epoch=epoch, contention=contention, noisy=noisy
+            )
+            duration = cost.total_s
+            profiled = hooks.wants_profiling(ctx, epoch)
+            if profiled:
+                duration *= profiler.overhead_factor()
+            duration += max(0.0, hooks.epoch_extra_delay_s(ctx, epoch))
+            busy = active_cores(ctx.config, cost)
+
+            allocation.node.notify_busy(busy)
+            yield env.timeout(duration)
+            allocation.node.notify_busy(-busy)
+
+            accuracy = accuracy_at_epoch(
+                workload, hyper, epoch, trial_seed=trial_seed, noisy=noisy
+            )
+            energy = trial_energy_j(workload, ctx.system, allocation, busy, duration)
+            total_time += duration
+            total_energy += energy
+
+            profile = None
+            if profiled:
+                profile = profiler.profile_epoch(
+                    ctx.config, epoch, duration, busy, noisy=noisy
+                )
+            record = EpochRecord(
+                epoch=epoch,
+                duration_s=duration,
+                accuracy=accuracy,
+                system=ctx.system,
+                energy_j=energy,
+                profiled=profiled,
+                probed=hooks.is_probe_epoch(ctx, epoch),
+                profile=profile,
+            )
+            ctx.records.append(record)
+            hooks.after_epoch(ctx, record)
+    finally:
+        allocation.release()
+
+    result = TrialResult(
+        trial_id=trial_id,
+        workload=workload,
+        hyper=hyper,
+        final_system=ctx.system,
+        accuracy=accuracy,
+        training_time_s=total_time,
+        energy_j=total_energy,
+        epochs_run=epochs,
+        start_time=start_time,
+        end_time=env.now,
+        records=ctx.records,
+    )
+    hooks.on_end(ctx, result)
+    return result

@@ -1,0 +1,178 @@
+"""Analytic performance model: epoch time, utilisation, working set.
+
+This module stands in for BigDL/Spark synchronous mini-batch SGD on the
+paper's testbed. The model is the standard cost decomposition of
+synchronous data-parallel SGD (the same one the paper uses to explain
+Figure 3b in §3.2):
+
+* each epoch performs ``U = ceil(n_train / batch_size)`` weight
+  updates;
+* per update, each of the ``k`` cores computes gradients for a
+  ``batch_size / k`` slice — but never smaller than a granularity
+  floor, below which per-core overheads stop the slice from shrinking;
+* per update, the cores synchronise model parameters: a fixed cost plus
+  a term growing with ``log2(k)`` (tree all-reduce);
+* a memory-pressure multiplier kicks in when the allocated memory is
+  smaller than the working set.
+
+Consequences (matching the paper's observations):
+
+* small batches ⇒ many updates ⇒ synchronisation dominates ⇒ *more
+  cores slow the epoch down* (Fig 3b, batch 64);
+* large batches ⇒ few updates ⇒ compute dominates ⇒ more cores help
+  (Fig 3b, batch 1024);
+* energy follows runtime with a core-count-dependent power draw
+  (Fig 3c).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .spec import (
+    BASE_CPU_FREQ_GHZ,
+    HyperParams,
+    SystemParams,
+    TrialConfig,
+    WorkloadSpec,
+)
+
+#: smallest per-core mini-batch slice that still amortises per-core
+#: launch overheads (samples); below this, adding cores stops helping
+#: the compute term. The JVM/BigDL task-launch overhead the paper runs
+#: on makes tiny per-core slices unprofitable (§3.2).
+MIN_CORE_SLICE = 64.0
+
+
+@dataclass(frozen=True)
+class EpochCost:
+    """Breakdown of one epoch's simulated cost."""
+
+    compute_s: float
+    sync_s: float
+    overhead_s: float
+    mem_penalty: float
+    total_s: float
+    utilisation: float  # fraction of allocated cores actively computing
+
+
+def updates_per_epoch(workload: WorkloadSpec, hyper: HyperParams) -> int:
+    """Number of synchronous weight updates in one epoch."""
+    return max(1, math.ceil(workload.train_files / hyper.batch_size))
+
+
+def working_set_gb(workload: WorkloadSpec, hyper: HyperParams) -> float:
+    """Resident memory needed by a trial (model + batch buffers)."""
+    ws = workload.mem_base_gb + hyper.batch_size * workload.mem_per_sample_gb
+    if workload.uses_embedding:
+        # Embedding tables grow linearly with the embedding dimension.
+        ws += 0.004 * hyper.embedding_dim
+    return ws
+
+
+def memory_penalty(workload: WorkloadSpec, hyper: HyperParams, system: SystemParams) -> float:
+    """Multiplicative slowdown when memory is short of the working set.
+
+    1.0 when memory suffices; grows linearly with the shortfall ratio
+    (spill/GC pressure in the JVM-based BigDL stack the paper runs on).
+    """
+    ws = working_set_gb(workload, hyper)
+    if system.memory_gb >= ws:
+        return 1.0
+    shortfall = ws / system.memory_gb - 1.0
+    return 1.0 + workload.mem_pressure_slope * shortfall
+
+
+def epoch_cost(
+    config: TrialConfig,
+    epoch: int = 0,
+    contention: float = 1.0,
+    noisy: bool = True,
+) -> EpochCost:
+    """Simulated wall-clock cost of one training epoch.
+
+    Parameters
+    ----------
+    config:
+        Workload + hyperparameters + system parameters.
+    epoch:
+        Epoch index; only used to derive the deterministic noise draw.
+    contention:
+        Slowdown factor >= 1 from co-located jobs pinned to the same
+        cores (used by the Fig 5 experiment). 1.0 means exclusive use.
+    noisy:
+        Disable to obtain the noise-free analytic expectation (useful
+        for property tests of monotonicity).
+    """
+    if contention < 1.0:
+        raise ValueError("contention factor must be >= 1")
+    w, hp, sp = config.workload, config.hyper, config.system
+    k = sp.cores
+    updates = updates_per_epoch(w, hp)
+
+    # -- compute term ---------------------------------------------------
+    # Each core processes a batch slice; slices cannot shrink below the
+    # granularity floor, and parallel scaling is sub-linear (the
+    # k**(1-alpha) factor models cache/bandwidth interference).
+    slice_size = max(hp.batch_size / k, MIN_CORE_SLICE)
+    effective_slice = min(float(hp.batch_size), slice_size)
+    scaling_loss = k ** (1.0 - w.parallel_alpha)
+    compute_per_update = w.compute_per_sample * effective_slice * scaling_loss
+    # DVFS extension: compute time scales inversely with clock speed
+    # (synchronisation below is network/latency-bound and does not).
+    compute_per_update *= BASE_CPU_FREQ_GHZ / sp.cpu_freq_ghz
+    if w.uses_embedding:
+        # Wider embeddings mean more FLOPs per sample.
+        compute_per_update *= 0.7 + 0.3 * hp.embedding_dim / w.embedding_opt
+    compute = updates * compute_per_update
+
+    # -- synchronisation term --------------------------------------------
+    # Fixed handshake + tree all-reduce growing with log2(cores).
+    sync_per_update = w.sync_per_core * (0.15 + math.log2(k)) if k > 1 else (
+        w.sync_per_core * 0.15
+    )
+    sync = updates * sync_per_update
+
+    # -- memory pressure + overheads --------------------------------------
+    penalty = memory_penalty(w, hp, sp)
+    total = (compute + sync) * penalty * contention + w.epoch_overhead_s
+
+    if noisy:
+        rng = w.rng("epoch-noise", hp, sp, epoch)
+        total *= max(0.5, 1.0 + rng.normal(0.0, w.runtime_noise))
+
+    busy = compute / (compute + sync) if (compute + sync) > 0 else 1.0
+    return EpochCost(
+        compute_s=compute,
+        sync_s=sync,
+        overhead_s=w.epoch_overhead_s,
+        mem_penalty=penalty,
+        total_s=total,
+        utilisation=busy,
+    )
+
+
+def epoch_time(config: TrialConfig, epoch: int = 0, contention: float = 1.0, noisy: bool = True) -> float:
+    """Convenience wrapper returning only the total epoch seconds."""
+    return epoch_cost(config, epoch=epoch, contention=contention, noisy=noisy).total_s
+
+
+def training_time(config: TrialConfig, contention: float = 1.0, noisy: bool = True) -> float:
+    """Wall-clock of a full training run (all epochs, no tuning)."""
+    return sum(
+        epoch_time(config, epoch=e, contention=contention, noisy=noisy)
+        for e in range(config.hyper.epochs)
+    )
+
+
+def active_cores(config: TrialConfig, cost: EpochCost) -> float:
+    """Average cores actively drawing compute power during an epoch.
+
+    Synchronisation phases are communication-bound and draw less, which
+    the power model captures as a lower effective busy-core count.
+    """
+    sync_draw_fraction = 0.45
+    return config.system.cores * (
+        cost.utilisation + sync_draw_fraction * (1.0 - cost.utilisation)
+    )

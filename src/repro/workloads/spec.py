@@ -1,0 +1,253 @@
+"""Workload, hyperparameter and system-parameter descriptions.
+
+Terminology follows the paper (§3.3): a *workload* is a (model,
+dataset) pair; *hyperparameters* are model-external knobs fixed before
+training; *system parameters* are the configurable resources of the
+machine the trial runs on (cores, memory).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def stable_seed(*parts) -> int:
+    """Deterministic 63-bit seed from arbitrary hashable parts.
+
+    Python's builtin ``hash`` is salted per interpreter run, so every
+    stochastic component in the reproduction derives its RNG from this
+    digest instead — rerunning any experiment reproduces identical
+    numbers (DESIGN.md §5).
+    """
+    digest = hashlib.sha256(
+        "\x1f".join(repr(p) for p in parts).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
+
+
+def rng_for(*parts) -> np.random.Generator:
+    """A numpy Generator seeded by :func:`stable_seed`."""
+    return np.random.default_rng(stable_seed(*parts))
+
+
+@dataclass(frozen=True)
+class HyperParams:
+    """The five hyperparameters tuned in the paper's evaluation (§7.1.3).
+
+    Ranges (inclusive) as evaluated by the paper:
+
+    * ``batch_size``      — 32 .. 1024
+    * ``dropout``         — 0.0 .. 0.5
+    * ``embedding_dim``   — 50 .. 300 (NLP workloads only)
+    * ``learning_rate``   — 0.001 .. 0.1
+    * ``epochs``          — 10 .. 100
+    """
+
+    batch_size: int = 32
+    dropout: float = 0.25
+    embedding_dim: int = 128
+    learning_rate: float = 0.01
+    epochs: int = 10
+
+    def __post_init__(self):
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+        if self.embedding_dim < 1:
+            raise ValueError("embedding_dim must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+
+    def replace(self, **changes) -> "HyperParams":
+        return replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "batch_size": self.batch_size,
+            "dropout": self.dropout,
+            "embedding_dim": self.embedding_dim,
+            "learning_rate": self.learning_rate,
+            "epochs": self.epochs,
+        }
+
+    @classmethod
+    def from_dict(cls, values: Dict[str, float]) -> "HyperParams":
+        known = {
+            k: values[k]
+            for k in (
+                "batch_size",
+                "dropout",
+                "embedding_dim",
+                "learning_rate",
+                "epochs",
+            )
+            if k in values
+        }
+        if "batch_size" in known:
+            known["batch_size"] = int(round(known["batch_size"]))
+        if "embedding_dim" in known:
+            known["embedding_dim"] = int(round(known["embedding_dim"]))
+        if "epochs" in known:
+            known["epochs"] = int(round(known["epochs"]))
+        return cls(**known)
+
+
+#: nominal clock of the simulated Intel E3 nodes (GHz); the default
+#: frequency, so configurations that do not touch DVFS are unchanged.
+BASE_CPU_FREQ_GHZ = 3.6
+
+
+@dataclass(frozen=True)
+class SystemParams:
+    """System parameters tuned by PipeTune (§7.1.4).
+
+    Evaluation ranges: cores in [4, 16], memory in [4, 32] GB.
+    ``cpu_freq_ghz`` implements the paper's stated extension ("the same
+    mechanisms can be applied to any other parameter of interest (e.g.,
+    CPU frequency)"); it defaults to the nominal clock so the core
+    experiments are unaffected.
+    """
+
+    cores: int = 4
+    memory_gb: float = 4.0
+    cpu_freq_ghz: float = BASE_CPU_FREQ_GHZ
+
+    def __post_init__(self):
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.memory_gb <= 0:
+            raise ValueError("memory_gb must be positive")
+        if not 0.5 <= self.cpu_freq_ghz <= 6.0:
+            raise ValueError("cpu_freq_ghz outside plausible DVFS range")
+
+    def replace(self, **changes) -> "SystemParams":
+        return replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "cores": self.cores,
+            "memory_gb": self.memory_gb,
+            "cpu_freq_ghz": self.cpu_freq_ghz,
+        }
+
+    @classmethod
+    def from_dict(cls, values: Dict[str, float]) -> "SystemParams":
+        out = {}
+        if "cores" in values:
+            out["cores"] = int(round(values["cores"]))
+        if "memory_gb" in values:
+            out["memory_gb"] = float(values["memory_gb"])
+        if "cpu_freq_ghz" in values:
+            out["cpu_freq_ghz"] = float(values["cpu_freq_ghz"])
+        return cls(**out)
+
+
+# Paper evaluation grids (§7.2): the probing/ground-truth campaign varies
+# memory over {4, 8, 16, 32} GB and cores over {4, 8, 16}.
+PAPER_CORE_GRID: Tuple[int, ...] = (4, 8, 16)
+PAPER_MEMORY_GRID_GB: Tuple[float, ...] = (4.0, 8.0, 16.0, 32.0)
+PAPER_BATCH_GRID: Tuple[int, ...] = (32, 64, 512, 1024)
+
+
+def paper_system_grid() -> Tuple[SystemParams, ...]:
+    """The 12-point (cores x memory) grid probed in the paper (§7.2)."""
+    return tuple(
+        SystemParams(cores=c, memory_gb=m)
+        for c in PAPER_CORE_GRID
+        for m in PAPER_MEMORY_GRID_GB
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Static description of one (model, dataset) workload.
+
+    The cost/accuracy coefficients parameterise the analytic models in
+    :mod:`repro.workloads.perfmodel` and :mod:`repro.workloads.accuracy`;
+    they are calibrated so that the magnitudes roughly match the paper's
+    Table 3 workloads (epoch durations of minutes for Type-I/II, seconds
+    for Type-III).
+    """
+
+    name: str
+    model: str
+    dataset: str
+    workload_type: str  # "I", "II" or "III"
+    datasize_mb: float
+    train_files: int
+    test_files: int
+    # --- cost-model coefficients -------------------------------------
+    #: seconds of single-core compute per sample at reference settings
+    compute_per_sample: float = 2.0e-3
+    #: seconds of synchronisation cost per extra core per weight update
+    sync_per_core: float = 1.2e-3
+    #: parallel-efficiency exponent: speedup(cores) ~ cores**alpha
+    parallel_alpha: float = 0.85
+    #: resident working set independent of batch (GB)
+    mem_base_gb: float = 1.5
+    #: extra working set per sample in the batch (GB)
+    mem_per_sample_gb: float = 2.0e-3
+    #: slowdown slope when memory is short of the working set
+    mem_pressure_slope: float = 1.5
+    #: fixed per-epoch overhead (data loading, checkpointing) seconds
+    epoch_overhead_s: float = 2.0
+    #: is the workload an NLP model with an embedding layer?
+    uses_embedding: bool = False
+    # --- accuracy-model coefficients ----------------------------------
+    #: asymptotic accuracy under ideal hyperparameters, in [0, 1]
+    base_accuracy: float = 0.93
+    #: convergence-rate constant (per epoch)
+    convergence_rate: float = 0.35
+    #: log10 of the best learning rate
+    log_lr_opt: float = -2.0
+    #: width (in log10 lr) of the learning-rate sweet spot
+    log_lr_sigma: float = 0.8
+    #: accuracy penalty factor per doubling of batch over 32
+    batch_penalty: float = 0.035
+    #: best dropout value
+    dropout_opt: float = 0.25
+    #: curvature of the dropout penalty
+    dropout_curvature: float = 0.55
+    #: best embedding dimension (NLP only)
+    embedding_opt: int = 200
+    #: trial-to-trial accuracy noise (std, absolute accuracy)
+    accuracy_noise: float = 0.004
+    #: epoch-to-epoch runtime noise (std, relative)
+    runtime_noise: float = 0.02
+
+    def __post_init__(self):
+        if self.workload_type not in ("I", "II", "III"):
+            raise ValueError("workload_type must be 'I', 'II' or 'III'")
+        if not 0 < self.base_accuracy <= 1:
+            raise ValueError("base_accuracy must be in (0, 1]")
+        if self.train_files < 1:
+            raise ValueError("train_files must be >= 1")
+
+    @property
+    def key(self) -> str:
+        return self.name
+
+    def seed(self, *parts) -> int:
+        return stable_seed(self.name, *parts)
+
+    def rng(self, *parts) -> np.random.Generator:
+        return rng_for(self.name, *parts)
+
+
+@dataclass(frozen=True)
+class TrialConfig:
+    """Everything needed to run one training trial."""
+
+    workload: WorkloadSpec
+    hyper: HyperParams = field(default_factory=HyperParams)
+    system: SystemParams = field(default_factory=SystemParams)
+
+    def replace(self, **changes) -> "TrialConfig":
+        return replace(self, **changes)

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig01"])
+        assert args.exhibit == "fig01"
+        assert args.scale == 1.0
+        assert args.seed == 0
+
+    def test_tune_system_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "lenet-mnist", "--system", "bogus"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "table2" in out and "fig14" in out
+
+    def test_run_single_exhibit(self, capsys):
+        assert main(["run", "fig01", "--scale", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+
+    def test_run_unknown_exhibit(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown exhibit" in capsys.readouterr().err
+
+    def test_run_writes_output_dir(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "tables")
+        assert main(["run", "fig01", "--out", out_dir]) == 0
+        assert (tmp_path / "tables" / "fig01.txt").exists()
+
+    def test_tune_v1(self, capsys):
+        assert main(["tune", "lenet-mnist", "--system", "v1"]) == 0
+        out = capsys.readouterr().out
+        assert "best accuracy" in out
+        assert "tuning time" in out
+
+    def test_tune_pipetune_type3(self, capsys):
+        assert main(["tune", "bfs-rodinia", "--system", "pipetune"]) == 0
+        out = capsys.readouterr().out
+        assert "bfs-rodinia" in out
+
+    def test_tune_unknown_workload(self, capsys):
+        assert main(["tune", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err

@@ -1,0 +1,148 @@
+"""Tests for k-means, DBSCAN and nearest-centroid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import (
+    DBSCAN,
+    KMeans,
+    NearestCentroid,
+    pairwise_sq_distances,
+)
+
+
+def two_blobs(n=30, separation=10.0, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0.0, 0.5, size=(n, 3))
+    b = rng.normal(separation, 0.5, size=(n, 3))
+    return np.vstack([a, b])
+
+
+class TestPairwiseDistances:
+    def test_matches_manual(self):
+        a = np.array([[0.0, 0.0], [1.0, 1.0]])
+        b = np.array([[3.0, 4.0]])
+        d = pairwise_sq_distances(a, b)
+        assert d[0, 0] == pytest.approx(25.0)
+        assert d[1, 0] == pytest.approx(13.0)
+
+    def test_non_negative(self):
+        x = np.random.default_rng(1).normal(size=(10, 4))
+        assert (pairwise_sq_distances(x, x) >= 0).all()
+
+    def test_self_distance_zero(self):
+        x = np.random.default_rng(1).normal(size=(5, 4))
+        d = pairwise_sq_distances(x, x)
+        assert np.diag(d) == pytest.approx(np.zeros(5), abs=1e-8)
+
+
+class TestKMeans:
+    def test_separates_two_blobs(self):
+        x = two_blobs()
+        model = KMeans(k=2, seed=0).fit(x)
+        labels = model.labels
+        assert len(set(labels[:30])) == 1
+        assert len(set(labels[30:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KMeans(k=0)
+        with pytest.raises(ValueError):
+            KMeans(k=5).fit(np.zeros((3, 2)))
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeans(k=2).predict(np.zeros((1, 2)))
+
+    def test_deterministic_with_seed(self):
+        x = two_blobs(seed=3)
+        a = KMeans(k=2, seed=7).fit(x)
+        b = KMeans(k=2, seed=7).fit(x)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_allclose(a.centroids, b.centroids)
+
+    def test_inertia_decreases_with_more_clusters(self):
+        x = two_blobs()
+        i2 = KMeans(k=2, seed=0).fit(x).inertia
+        i4 = KMeans(k=4, seed=0).fit(x).inertia
+        assert i4 <= i2
+
+    def test_predict_assigns_nearest_centroid(self):
+        x = two_blobs()
+        model = KMeans(k=2, seed=0).fit(x)
+        new = np.array([[0.1, 0.0, 0.0], [10.0, 10.0, 10.0]])
+        labels = model.predict(new)
+        d = pairwise_sq_distances(new, model.centroids)
+        np.testing.assert_array_equal(labels, d.argmin(axis=1))
+
+    def test_distances_are_euclidean(self):
+        x = two_blobs()
+        model = KMeans(k=2, seed=0).fit(x)
+        point = x[:1]
+        dist = model.distances(point)[0]
+        manual = np.sqrt(
+            ((point[0] - model.centroids) ** 2).sum(axis=1).min()
+        )
+        assert dist == pytest.approx(manual)
+
+    def test_duplicate_points_do_not_crash(self):
+        x = np.ones((10, 3))
+        model = KMeans(k=2, seed=0).fit(x)
+        assert model.inertia == pytest.approx(0.0)
+
+    def test_k1_centroid_is_mean(self):
+        x = two_blobs()
+        model = KMeans(k=1, seed=0).fit(x)
+        np.testing.assert_allclose(model.centroids[0], x.mean(axis=0), atol=1e-8)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        separation=st.floats(min_value=5.0, max_value=50.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_assignment_invariant(self, seed, separation):
+        """Every training point is assigned to its nearest centroid."""
+        x = two_blobs(n=15, separation=separation, seed=seed)
+        model = KMeans(k=2, seed=seed).fit(x)
+        d = pairwise_sq_distances(x, model.centroids)
+        np.testing.assert_array_equal(model.labels, d.argmin(axis=1))
+
+
+class TestNearestCentroid:
+    def test_classifies_blobs(self):
+        x = two_blobs()
+        labels = ["a"] * 30 + ["b"] * 30
+        model = NearestCentroid().fit(x, labels)
+        assert model.predict(np.array([[0.0, 0.0, 0.0]])) == ["a"]
+        assert model.predict(np.array([[10.0, 10.0, 10.0]])) == ["b"]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            NearestCentroid().fit(np.zeros((3, 2)), ["a"])
+
+    def test_use_before_fit(self):
+        with pytest.raises(RuntimeError):
+            NearestCentroid().predict(np.zeros((1, 2)))
+
+
+class TestDBSCAN:
+    def test_finds_two_clusters(self):
+        x = two_blobs()
+        model = DBSCAN(eps=2.0, min_samples=3).fit(x)
+        labels = set(model.labels.tolist())
+        labels.discard(-1)
+        assert len(labels) == 2
+
+    def test_isolated_point_is_noise(self):
+        x = np.vstack([two_blobs(), [[100.0, 100.0, 100.0]]])
+        model = DBSCAN(eps=2.0, min_samples=3).fit(x)
+        assert model.labels[-1] == -1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DBSCAN(eps=0.0)
+        with pytest.raises(ValueError):
+            DBSCAN(min_samples=0)

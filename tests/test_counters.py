@@ -1,0 +1,260 @@
+"""Tests for the simulated PMU: events, multiplexing, profiler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counters.events import (
+    EVENT_NAMES,
+    FIXED_COUNTER_EVENTS,
+    NUM_EVENTS,
+    event_index,
+    is_compute_side,
+    workload_signature,
+)
+from repro.counters.pmu import (
+    NUM_FIXED_COUNTERS,
+    NUM_GENERIC_COUNTERS,
+    CounterReading,
+    Pmu,
+    true_counts,
+)
+from repro.counters.profiler import EpochProfile, EpochProfiler, average_profiles
+from repro.workloads.registry import (
+    CNN_NEWS20,
+    LENET_FASHION,
+    LENET_MNIST,
+    LSTM_NEWS20,
+)
+from repro.workloads.spec import HyperParams, SystemParams, TrialConfig
+
+
+def config(workload=LENET_MNIST, batch=64, cores=8, memory=16.0):
+    return TrialConfig(
+        workload, HyperParams(batch_size=batch), SystemParams(cores=cores, memory_gb=memory)
+    )
+
+
+class TestEvents:
+    def test_58_events_as_in_paper(self):
+        assert NUM_EVENTS == 58
+        assert len(set(EVENT_NAMES)) == 58
+
+    def test_fixed_counter_events_exist(self):
+        for event in FIXED_COUNTER_EVENTS:
+            assert event in EVENT_NAMES
+
+    def test_event_index_roundtrip(self):
+        for i, name in enumerate(EVENT_NAMES):
+            assert event_index(name) == i
+
+    def test_unknown_event_raises(self):
+        with pytest.raises(KeyError):
+            event_index("made-up-event")
+
+    def test_compute_vs_memory_partition(self):
+        compute = [e for e in EVENT_NAMES if is_compute_side(e)]
+        memory = [e for e in EVENT_NAMES if not is_compute_side(e)]
+        assert compute and memory
+        assert len(compute) + len(memory) == 58
+        assert "instructions" in compute
+        assert "LLC-load-misses" in memory
+
+    def test_signature_deterministic(self):
+        a = workload_signature(LENET_MNIST)
+        b = workload_signature(LENET_MNIST)
+        np.testing.assert_array_equal(a, b)
+
+    def test_signature_positive(self):
+        assert (workload_signature(CNN_NEWS20) > 0).all()
+
+    def test_same_model_shares_compute_side(self):
+        """lenet-mnist and lenet-fashion share the model: compute-side
+        rates identical up to the per-workload wobble (< 20 %)."""
+        a = workload_signature(LENET_MNIST)
+        b = workload_signature(LENET_FASHION)
+        for i, event in enumerate(EVENT_NAMES):
+            if is_compute_side(event):
+                assert a[i] == pytest.approx(b[i], rel=0.5)
+
+    def test_same_dataset_shares_memory_side(self):
+        a = workload_signature(CNN_NEWS20)
+        b = workload_signature(LSTM_NEWS20)
+        for i, event in enumerate(EVENT_NAMES):
+            if not is_compute_side(event):
+                assert a[i] == pytest.approx(b[i], rel=0.5)
+
+    def test_different_models_differ(self):
+        a = np.log10(workload_signature(LENET_MNIST))
+        b = np.log10(workload_signature(CNN_NEWS20))
+        assert np.abs(a - b).max() > 0.2
+
+
+class TestTrueCounts:
+    def test_scales_with_duration(self):
+        c = config()
+        short = true_counts(c, 10.0, 4.0, noisy=False)
+        long = true_counts(c, 20.0, 4.0, noisy=False)
+        np.testing.assert_allclose(long, 2.0 * short)
+
+    def test_scales_with_busy_cores(self):
+        c = config()
+        few = true_counts(c, 10.0, 2.0, noisy=False)
+        many = true_counts(c, 10.0, 8.0, noisy=False)
+        np.testing.assert_allclose(many, 4.0 * few)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            true_counts(config(), -1.0, 4.0)
+
+    def test_memory_pressure_inflates_misses(self):
+        plenty = config(memory=32.0)
+        starved = config(memory=2.0)
+        a = true_counts(plenty, 10.0, 4.0, noisy=False)
+        b = true_counts(starved, 10.0, 4.0, noisy=False)
+        miss = event_index("LLC-load-misses")
+        instructions = event_index("instructions")
+        assert b[miss] > a[miss]
+        assert b[instructions] == pytest.approx(a[instructions])
+
+    def test_noise_deterministic_per_epoch(self):
+        c = config()
+        a = true_counts(c, 10.0, 4.0, epoch=3)
+        b = true_counts(c, 10.0, 4.0, epoch=3)
+        other = true_counts(c, 10.0, 4.0, epoch=4)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, other)
+
+
+class TestPmu:
+    def test_counter_inventory(self):
+        assert NUM_FIXED_COUNTERS == 3
+        assert NUM_GENERIC_COUNTERS == 2
+
+    def test_generic_share(self):
+        pmu = Pmu()
+        assert pmu.generic_share == pytest.approx(2 / 55)
+
+    def test_fixed_events_not_multiplexed(self):
+        readings = Pmu().read_interval(config(), 10.0, 4.0)
+        for event in FIXED_COUNTER_EVENTS:
+            assert not readings[event].multiplexed
+            assert readings[event].time_running == readings[event].time_enabled
+
+    def test_generic_events_multiplexed(self):
+        readings = Pmu().read_interval(config(), 10.0, 4.0)
+        multiplexed = [r for r in readings.values() if r.multiplexed]
+        assert len(multiplexed) == 55
+
+    def test_rescaling_formula(self):
+        reading = CounterReading(
+            event="x", raw_count=100.0, time_enabled=10.0, time_running=2.0
+        )
+        assert reading.final_count == pytest.approx(100.0 * 10.0 / 2.0)
+
+    def test_zero_running_time_gives_zero(self):
+        reading = CounterReading("x", 50.0, 10.0, 0.0)
+        assert reading.final_count == 0.0
+
+    def test_final_counts_approximate_truth(self):
+        c = config()
+        truth = true_counts(c, 10.0, 4.0, epoch=1, noisy=False)
+        final = Pmu().final_counts(c, 10.0, 4.0, epoch=1, noisy=False)
+        np.testing.assert_allclose(final, truth, rtol=1e-9)
+
+    def test_final_counts_with_noise_close_to_truth(self):
+        c = config()
+        truth = true_counts(c, 10.0, 4.0, epoch=1, noisy=True)
+        final = Pmu().final_counts(c, 10.0, 4.0, epoch=1, noisy=True)
+        np.testing.assert_allclose(final, truth, rtol=0.15)
+
+    @given(
+        raw=st.floats(min_value=0.0, max_value=1e12),
+        enabled=st.floats(min_value=0.001, max_value=1e6),
+        share=st.floats(min_value=0.001, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_rescaling_never_underestimates_observed(self, raw, enabled, share):
+        """final = raw * enabled/running >= raw when running <= enabled."""
+        reading = CounterReading("x", raw, enabled, enabled * share)
+        assert reading.final_count >= raw - 1e-9
+
+
+class TestProfiler:
+    def test_profile_shape_and_positive_rates(self):
+        profile = EpochProfiler().profile_epoch(config(), 1, 50.0, 4.0)
+        assert profile.avg_events_per_s.shape == (58,)
+        assert (profile.avg_events_per_s >= 0).all()
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            EpochProfiler().profile_epoch(config(), 1, 0.0, 4.0)
+
+    def test_events_per_epoch_consistent(self):
+        profile = EpochProfiler().profile_epoch(config(), 1, 50.0, 4.0)
+        np.testing.assert_allclose(
+            profile.events_per_epoch(), profile.avg_events_per_s * 50.0
+        )
+
+    def test_feature_vector_normalised_against_instructions(self):
+        profile = EpochProfiler().profile_epoch(config(), 1, 50.0, 4.0)
+        features = profile.feature_vector()
+        assert features[event_index("instructions")] == pytest.approx(0.0)
+
+    def test_feature_vector_core_invariance(self):
+        """The clustering features must not depend on busy cores."""
+        profiler = EpochProfiler()
+        few = profiler.profile_epoch(config(cores=4), 1, 50.0, 4.0, noisy=False)
+        many = profiler.profile_epoch(config(cores=16), 1, 25.0, 16.0, noisy=False)
+        np.testing.assert_allclose(
+            few.feature_vector(), many.feature_vector(), atol=0.05
+        )
+
+    def test_unnormalised_features_depend_on_cores(self):
+        profiler = EpochProfiler()
+        few = profiler.profile_epoch(config(cores=4), 1, 50.0, 4.0, noisy=False)
+        many = profiler.profile_epoch(config(cores=16), 1, 25.0, 16.0, noisy=False)
+        assert (
+            np.abs(
+                few.feature_vector(normalise=False)
+                - many.feature_vector(normalise=False)
+            ).max()
+            > 0.1
+        )
+
+    def test_profiles_repeat_across_epochs(self):
+        """The Fig 2 claim: per-epoch profiles are nearly identical."""
+        profiler = EpochProfiler()
+        c = config(CNN_NEWS20)
+        p1 = profiler.profile_epoch(c, 1, 100.0, 6.0)
+        p2 = profiler.profile_epoch(c, 2, 100.0, 6.0)
+        ratio = p1.avg_events_per_s / p2.avg_events_per_s
+        assert np.abs(np.log10(ratio)).max() < 0.1
+
+    def test_profiles_distinguish_workloads(self):
+        profiler = EpochProfiler()
+        a = profiler.profile_epoch(config(LENET_MNIST), 1, 50.0, 4.0)
+        b = profiler.profile_epoch(config(CNN_NEWS20), 1, 50.0, 4.0)
+        assert np.linalg.norm(a.feature_vector() - b.feature_vector()) > 0.5
+
+    def test_average_profiles(self):
+        profiler = EpochProfiler()
+        profiles = [
+            profiler.profile_epoch(config(), e, 50.0, 4.0) for e in (1, 2, 3)
+        ]
+        avg = average_profiles(profiles)
+        assert avg.shape == (58,)
+        with pytest.raises(ValueError):
+            average_profiles([])
+
+    def test_wrong_vector_size_rejected(self):
+        with pytest.raises(ValueError):
+            EpochProfile(
+                workload="x", epoch=1, duration_s=10.0,
+                avg_events_per_s=np.zeros(10), samples=10,
+            )
+
+    def test_overhead_factor_small(self):
+        factor = EpochProfiler().overhead_factor()
+        assert 1.0 < factor < 1.1

@@ -1,0 +1,77 @@
+"""Tests for the EC2 pricing / grid-search cost model (Fig 1)."""
+
+import pytest
+
+from repro.ec2.pricing import (
+    M4_4XLARGE,
+    M5_12XLARGE,
+    M5_24XLARGE,
+    PAPER_INSTANCES,
+    InstanceType,
+    cost_table,
+    grid_trial_count,
+    mean_trial_time_s,
+    tuning_cost_usd,
+    tuning_time_s,
+)
+from repro.workloads.registry import LENET_MNIST
+
+
+class TestInstanceCatalogue:
+    def test_paper_instances(self):
+        assert [i.name for i in PAPER_INSTANCES] == [
+            "m4.4xlarge", "m5.12xlarge", "m5.24xlarge",
+        ]
+        assert M4_4XLARGE.vcpus == 16
+        assert M5_24XLARGE.vcpus == 96
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstanceType("x", vcpus=0, price_per_hour=1.0)
+        with pytest.raises(ValueError):
+            InstanceType("x", vcpus=4, price_per_hour=0.0)
+
+
+class TestGridGrowth:
+    def test_trial_count_exponential(self):
+        assert grid_trial_count(0) == 1
+        assert grid_trial_count(3) == 27
+        assert grid_trial_count(6) == 729
+        assert grid_trial_count(4, values_per_parameter=2) == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_trial_count(-1)
+        with pytest.raises(ValueError):
+            grid_trial_count(2, values_per_parameter=0)
+
+    def test_tuning_time_grows_3x_per_parameter(self):
+        t3 = tuning_time_s(LENET_MNIST, M4_4XLARGE, 3)
+        t4 = tuning_time_s(LENET_MNIST, M4_4XLARGE, 4)
+        assert t4 / t3 == pytest.approx(3.0, rel=0.01)
+
+    def test_bigger_instance_is_faster_but_not_free(self):
+        small = tuning_time_s(LENET_MNIST, M4_4XLARGE, 4)
+        large = tuning_time_s(LENET_MNIST, M5_24XLARGE, 4)
+        assert large < small
+        assert tuning_cost_usd(LENET_MNIST, M5_24XLARGE, 4) > 0
+
+    def test_cost_consistent_with_time(self):
+        cost = tuning_cost_usd(LENET_MNIST, M4_4XLARGE, 3)
+        expected = (
+            tuning_time_s(LENET_MNIST, M4_4XLARGE, 3) / 3600.0
+        ) * M4_4XLARGE.price_per_hour
+        assert cost == pytest.approx(expected)
+
+    def test_mean_trial_time_positive(self):
+        assert mean_trial_time_s(LENET_MNIST, M4_4XLARGE) > 0
+
+    def test_cost_table_shape(self):
+        rows = cost_table(LENET_MNIST, parameters=(1, 2, 3))
+        assert len(rows) == 3
+        assert rows[0]["parameters"] == 1
+        for instance in PAPER_INSTANCES:
+            assert f"{instance.name}/usd" in rows[0]
+            assert f"{instance.name}/hours" in rows[0]
+        # exponential growth visible across rows
+        assert rows[2]["m4.4xlarge/usd"] > 5 * rows[0]["m4.4xlarge/usd"]

@@ -1,0 +1,223 @@
+"""Integration tests: every paper exhibit regenerates with the right shape.
+
+These run the experiment harness at reduced scale and assert the
+qualitative claims the paper makes — who wins, in which direction —
+rather than absolute numbers (EXPERIMENTS.md records those).
+"""
+
+import pytest
+
+from repro.experiments import EXHIBITS
+from repro.experiments.fig01_cost import exponential_growth_ratio
+from repro.experiments.fig02_heatmap import max_training_cv
+from repro.experiments.fig08_clusters import cluster_purity
+from repro.experiments.fig09_convergence import time_to_accuracy
+from repro.experiments.fig10_trialtime import mean_trial_time
+from repro.experiments.fig11_single_tenancy import metric_by_system
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run the cheap exhibits once and share across assertions."""
+    return {
+        "fig01": EXHIBITS["fig01"].run(scale=1.0),
+        "fig02": EXHIBITS["fig02"].run(scale=1.0),
+        "fig03": EXHIBITS["fig03"].run(scale=1.0),
+        "fig08": EXHIBITS["fig08"].run(scale=1.0),
+        "table2": EXHIBITS["table2"].run(scale=0.34),
+    }
+
+
+@pytest.fixture(scope="module")
+def heavy_results():
+    return {
+        "fig09": EXHIBITS["fig09"].run(scale=0.34),
+        "fig10": EXHIBITS["fig10"].run(scale=0.34),
+        "fig11": EXHIBITS["fig11"].run(scale=0.34),
+        "fig12": EXHIBITS["fig12"].run(scale=0.34),
+    }
+
+
+class TestRegistry:
+    def test_every_exhibit_registered(self):
+        assert set(EXHIBITS) == {
+            "fig01", "fig02", "fig03", "fig05", "table2", "fig08",
+            "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+        }
+
+    def test_every_exhibit_has_run(self):
+        for module in EXHIBITS.values():
+            assert callable(module.run)
+
+
+class TestFig01(object):
+    def test_exponential_growth(self, results):
+        result = results["fig01"]
+        assert len(result.rows) == 6
+        ratio = exponential_growth_ratio(result, "m4.4xlarge/usd")
+        assert ratio == pytest.approx(3.0, rel=0.15)
+
+    def test_cost_becomes_impractical(self, results):
+        rows = results["fig01"].rows
+        assert rows[-1]["m5.24xlarge/usd"] > 10.0  # dollars at 6 params
+
+
+class TestFig02:
+    def test_58_event_rows(self, results):
+        assert len(results["fig02"].rows) == 58
+
+    def test_epochs_repeat(self, results):
+        """The heatmap claim: events repeat across epochs (low CV)."""
+        assert max_training_cv(results["fig02"]) < 0.25
+
+    def test_buckets_span_scale(self, results):
+        buckets = {row["bucket"] for row in results["fig02"].rows}
+        assert len(buckets) >= 2  # events spread over the colour scale
+
+
+class TestFig03:
+    def _rows(self, results, panel):
+        return [r for r in results["fig03"].rows if r["panel"] == panel]
+
+    def test_larger_batches_lower_accuracy(self, results):
+        accs = [r["accuracy_diff_pct"] for r in self._rows(results, "a")]
+        assert all(a < 0 for a in accs)
+        assert accs == sorted(accs, reverse=True)
+
+    def test_larger_batches_faster_and_greener(self, results):
+        rows = self._rows(results, "a")
+        assert all(r["duration_diff_pct"] < 0 for r in rows)
+        assert all(r["energy_diff_pct"] < 0 for r in rows)
+
+    def test_cores_hurt_batch64_help_batch1024(self, results):
+        rows = self._rows(results, "b/c")
+        small = [r for r in rows if r["batch_size"] == 64]
+        large = [r for r in rows if r["batch_size"] == 1024]
+        assert all(r["duration_diff_pct"] > 0 for r in small)
+        assert all(r["duration_diff_pct"] < 0 for r in large)
+
+    def test_energy_follows_runtime(self, results):
+        rows = self._rows(results, "b/c")
+        for r in rows:
+            assert (r["duration_diff_pct"] > 0) == (r["energy_diff_pct"] > 0)
+
+
+class TestFig05:
+    def test_contention_hurts(self):
+        result = EXHIBITS["fig05"].run(scale=0.5)
+        assert len(result.rows) == 12
+        by_key = {(r["cores"], r["jobs"]): r for r in result.rows}
+        # more co-located jobs -> worse runtime improvement at any cores
+        for cores in (1, 2, 4, 8):
+            two = by_key[(cores, 2)]["runtime_improvement_pct"]
+            four = by_key[(cores, 4)]["runtime_improvement_pct"]
+            assert four < two
+        # only a few configurations improve on the baseline error
+        improving = [r for r in result.rows if r["error_improvement_pct"] > 0]
+        assert len(improving) <= 4
+
+
+class TestTable2:
+    def test_shapes(self, results):
+        rows = {r["approach"]: r for r in results["table2"].rows}
+        arbitrary, v1 = rows["Arbitrary"], rows["Tune V1"]
+        v2, pipetune = rows["Tune V2"], rows["PipeTune"]
+        # arbitrary: worse accuracy than tuned, worse training time
+        assert arbitrary["accuracy_pct"] < v1["accuracy_pct"]
+        assert arbitrary["training_time_s"] > v1["training_time_s"]
+        # PipeTune accuracy on par with V1 (within 2 points)
+        assert abs(pipetune["accuracy_pct"] - v1["accuracy_pct"]) < 2.0
+        # V2 trades accuracy away
+        assert v2["accuracy_pct"] < v1["accuracy_pct"] - 5.0
+        # tuning time: PipeTune < V1 < V2
+        assert pipetune["tuning_time_s"] < v1["tuning_time_s"]
+        assert v1["tuning_time_s"] < v2["tuning_time_s"]
+        # training time: PipeTune below V1
+        assert pipetune["training_time_s"] < v1["training_time_s"]
+
+
+class TestFig09And10:
+    def test_pipetune_converges_faster(self, heavy_results):
+        result = heavy_results["fig09"]
+        target = 40.0  # accuracy level reachable by v1 and pipetune
+        t_pipetune = time_to_accuracy(result, "pipetune", target)
+        t_v1 = time_to_accuracy(result, "tune-v1", target)
+        assert t_pipetune < t_v1
+
+    def test_pipetune_trials_shorter_than_v1(self, heavy_results):
+        result = heavy_results["fig10"]
+        assert mean_trial_time(result, "pipetune") < mean_trial_time(result, "tune-v1")
+
+    def test_v2_trials_shorter_than_v1(self, heavy_results):
+        result = heavy_results["fig10"]
+        assert mean_trial_time(result, "tune-v2") < mean_trial_time(result, "tune-v1")
+
+
+class TestFig11:
+    WORKLOADS = ("lenet-mnist", "lenet-fashion", "cnn-news20", "lstm-news20")
+
+    def test_accuracy_parity_and_v2_drop(self, heavy_results):
+        for workload in self.WORKLOADS:
+            acc = metric_by_system(heavy_results["fig11"], workload, "accuracy_pct")
+            assert abs(acc["pipetune"] - acc["tune-v1"]) < 4.0
+            assert acc["tune-v2"] < acc["tune-v1"]
+
+    def test_tuning_time_ordering(self, heavy_results):
+        for workload in self.WORKLOADS:
+            t = metric_by_system(heavy_results["fig11"], workload, "tuning_time_s")
+            assert t["pipetune"] < t["tune-v1"] < t["tune-v2"]
+
+    def test_energy_ordering(self, heavy_results):
+        for workload in self.WORKLOADS:
+            e = metric_by_system(heavy_results["fig11"], workload, "tuning_energy_kj")
+            assert e["pipetune"] < e["tune-v1"]
+
+    def test_training_time_improves(self, heavy_results):
+        for workload in self.WORKLOADS:
+            t = metric_by_system(heavy_results["fig11"], workload, "training_time_s")
+            assert t["pipetune"] < t["tune-v1"]
+
+
+class TestFig12:
+    def test_type3_shapes_hold(self, heavy_results):
+        result = heavy_results["fig12"]
+        for workload in ("jacobi-rodinia", "spkmeans-rodinia", "bfs-rodinia"):
+            t = metric_by_system(result, workload, "tuning_time_s")
+            assert t["pipetune"] < t["tune-v1"] < t["tune-v2"]
+            acc = metric_by_system(result, workload, "accuracy_pct")
+            assert abs(acc["pipetune"] - acc["tune-v1"]) < 5.0
+            e = metric_by_system(result, workload, "tuning_energy_kj")
+            assert e["pipetune"] < e["tune-v1"]
+
+
+class TestMultiTenancy:
+    def test_fig13_pipetune_lowest_response(self):
+        result = EXHIBITS["fig13"].run(scale=0.34)
+        by_system = {r["system"]: r["all_s"] for r in result.rows}
+        assert by_system["pipetune"] < by_system["tune-v1"]
+        assert by_system["pipetune"] < by_system["tune-v2"]
+
+    def test_fig14_pipetune_lowest_response(self):
+        result = EXHIBITS["fig14"].run(scale=0.34)
+        by_system = {r["system"]: r["all_s"] for r in result.rows}
+        assert by_system["pipetune"] < by_system["tune-v1"]
+        assert by_system["pipetune"] < by_system["tune-v2"]
+
+
+class TestFig08:
+    def test_clusters_align_with_types(self, results):
+        assert cluster_purity(results["fig08"]) >= 0.9
+
+    def test_rows_cover_all_type12_workloads(self, results):
+        workloads = {r["workload"] for r in results["fig08"].rows}
+        assert workloads == {
+            "lenet-mnist", "lenet-fashion", "cnn-news20", "lstm-news20",
+        }
+
+
+class TestFormatting:
+    def test_format_table_renders(self, results):
+        text = results["table2"].format_table()
+        assert "Table 2" in text
+        assert "PipeTune" in text
+        assert text.count("\n") >= 6

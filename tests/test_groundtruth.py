@@ -1,0 +1,123 @@
+"""Tests for the ground-truth profile database and similarity lookup."""
+
+import numpy as np
+import pytest
+
+from repro.core.groundtruth import GroundTruth, GroundTruthEntry
+from repro.counters.events import NUM_EVENTS
+from repro.tsdb.store import TimeSeriesStore
+from repro.workloads.spec import SystemParams
+
+
+def entry(center, system_cores=4, name="w", jitter=0.0, seed=0, dim=NUM_EVENTS):
+    rng = np.random.default_rng(seed)
+    features = np.full(dim, float(center)) + rng.normal(0.0, jitter, dim)
+    return GroundTruthEntry(
+        features=features,
+        best_system=SystemParams(cores=system_cores, memory_gb=8.0),
+        workload_name=name,
+    )
+
+
+def populated(jitter=0.05):
+    gt = GroundTruth(k=2, min_entries=4, threshold_scale=2.5)
+    for i in range(4):
+        gt.add(entry(0.0, system_cores=4, name="low", jitter=jitter, seed=i))
+    for i in range(4):
+        gt.add(entry(5.0, system_cores=16, name="high", jitter=jitter, seed=10 + i))
+    gt.refit()
+    return gt
+
+
+class TestEntries:
+    def test_entry_requires_vector(self):
+        with pytest.raises(ValueError):
+            GroundTruthEntry(
+                features=np.zeros((2, 2)), best_system=SystemParams(4, 8.0)
+            )
+
+    def test_min_entries_validation(self):
+        with pytest.raises(ValueError):
+            GroundTruth(k=3, min_entries=2)
+
+
+class TestQueries:
+    def test_empty_database_misses(self):
+        gt = GroundTruth()
+        assert gt.query(np.zeros(NUM_EVENTS)) is None
+
+    def test_below_min_entries_misses(self):
+        gt = GroundTruth(min_entries=4)
+        gt.add(entry(0.0))
+        gt.add(entry(5.0))
+        assert gt.query(np.zeros(NUM_EVENTS)) is None
+
+    def test_similar_profile_hits_with_right_config(self):
+        gt = populated()
+        match = gt.query(entry(0.0, jitter=0.05, seed=99).features)
+        assert match is not None
+        assert match.system.cores == 4
+        match_high = gt.query(entry(5.0, jitter=0.05, seed=98).features)
+        assert match_high is not None
+        assert match_high.system.cores == 16
+
+    def test_dissimilar_profile_misses(self):
+        gt = populated()
+        assert gt.query(np.full(NUM_EVENTS, 50.0)) is None
+
+    def test_match_metadata(self):
+        gt = populated()
+        match = gt.query(entry(0.0, jitter=0.02, seed=42).features)
+        assert match.distance <= match.threshold
+        assert 0.0 <= match.confidence <= 1.0
+        assert match.source_workload == "low"
+
+    def test_threshold_scales_with_inertia(self):
+        tight = populated(jitter=0.01)
+        loose = populated(jitter=0.5)
+        assert loose.threshold_for(0) > tight.threshold_for(0)
+
+    def test_refit_on_add_is_lazy(self):
+        gt = populated()
+        model_before = gt.model
+        gt.add(entry(0.0, seed=123))
+        assert gt._dirty
+        _ = gt.model  # triggers refit
+        assert not gt._dirty
+
+    def test_len(self):
+        assert len(populated()) == 8
+
+
+class TestPersistence:
+    def test_store_roundtrip(self):
+        gt = populated()
+        store = TimeSeriesStore()
+        written = gt.to_store(store)
+        assert written == 8
+        restored = GroundTruth.from_store(store, k=2, min_entries=4)
+        assert len(restored) == 8
+        match = restored.query(entry(0.0, jitter=0.02, seed=7).features)
+        assert match is not None
+        assert match.system.cores == 4
+
+    def test_roundtrip_preserves_systems(self):
+        gt = GroundTruth(min_entries=4)
+        gt.add(
+            GroundTruthEntry(
+                features=np.arange(NUM_EVENTS, dtype=float),
+                best_system=SystemParams(cores=16, memory_gb=32.0),
+                objective_value=-12.5,
+                workload_name="x",
+                created_at=77.0,
+            )
+        )
+        store = TimeSeriesStore()
+        gt.to_store(store)
+        restored = GroundTruth.from_store(store)
+        e = restored.entries[0]
+        assert e.best_system == SystemParams(cores=16, memory_gb=32.0)
+        assert e.objective_value == -12.5
+        assert e.workload_name == "x"
+        assert e.created_at == 77.0
+        np.testing.assert_allclose(e.features, np.arange(NUM_EVENTS, dtype=float))

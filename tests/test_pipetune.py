@@ -1,0 +1,175 @@
+"""Tests for the PipeTune session, hooks pipeline and ablations."""
+
+import pytest
+
+from repro.core.pipetune import PipeTuneConfig, PipeTuneSession
+from repro.experiments.harness import (
+    execute_job,
+    make_pipetune_session,
+    make_pipetune_spec,
+    make_v1_spec,
+)
+from repro.hpo.algorithms import RandomSearch
+from repro.hpo.space import Choice, SearchSpace
+from repro.simulation.cluster import paper_distributed_cluster
+from repro.simulation.des import Environment
+from repro.tune.runner import run_hpt_job
+from repro.workloads.registry import (
+    CNN_NEWS20,
+    LENET_FASHION,
+    LENET_MNIST,
+    type12_workloads,
+)
+from repro.workloads.spec import SystemParams
+
+
+def small_space(epochs=8):
+    return SearchSpace(
+        {
+            "batch_size": Choice([64, 256]),
+            "learning_rate": Choice([0.01]),
+            "epochs": Choice([epochs]),
+        }
+    )
+
+
+def run_pipetune_job(session, workload=LENET_MNIST, seed=0, num_samples=4, epochs=8):
+    spec = session.job_spec(
+        workload,
+        algorithm_factory=lambda: RandomSearch(
+            small_space(epochs), num_samples=num_samples, seed=seed
+        ),
+        seed=seed,
+    )
+    return execute_job(spec)
+
+
+class TestWarmStart:
+    def test_warm_start_populates_ground_truth(self):
+        session = make_pipetune_session()
+        added = session.warm_start(type12_workloads())
+        assert added == 16  # 4 workloads x 4 batch sizes
+        assert len(session.ground_truth) == 16
+
+    def test_warm_session_hits_without_probing(self):
+        session = make_pipetune_session()
+        session.warm_start(type12_workloads())
+        run_pipetune_job(session)
+        assert session.stats.ground_truth_hits > 0
+        assert session.stats.probing_trials == 0
+        assert session.stats.hit_rate == 1.0
+
+    def test_warm_best_configs_are_sensible(self):
+        """Offline campaign must not pick memory-starved configs."""
+        session = make_pipetune_session()
+        session.warm_start([LENET_MNIST])
+        for entry in session.ground_truth.entries:
+            assert entry.best_system.memory_gb >= 8.0  # working set > 4 GB
+
+
+class TestColdStart:
+    def test_cold_session_probes_then_stores(self):
+        session = make_pipetune_session()
+        run_pipetune_job(session, num_samples=4, epochs=10)
+        assert session.stats.ground_truth_misses > 0
+        assert session.stats.probing_trials > 0
+        assert session.stats.entries_stored > 0
+        assert len(session.ground_truth) == session.stats.entries_stored
+
+    def test_second_job_benefits_from_first(self):
+        session = make_pipetune_session()
+        run_pipetune_job(session, workload=LENET_MNIST, seed=0)
+        misses_before = session.stats.ground_truth_misses
+        run_pipetune_job(session, workload=LENET_MNIST, seed=1)
+        assert session.stats.ground_truth_hits > 0
+        # most of job 2's trials hit instead of missing
+        new_misses = session.stats.ground_truth_misses - misses_before
+        assert new_misses <= session.stats.ground_truth_hits
+
+    def test_short_trials_skip_probing(self):
+        """1-epoch trials have no probing budget: run at default."""
+        session = make_pipetune_session()
+        spec = session.job_spec(
+            LENET_MNIST,
+            algorithm_factory=lambda: RandomSearch(
+                small_space(epochs=2), num_samples=2, seed=0
+            ),
+        )
+        result = execute_job(spec)
+        assert session.stats.probing_trials == 0
+        assert result.num_trials == 2
+
+
+class TestPipelineEffects:
+    def test_accuracy_parity_with_v1(self):
+        session = make_pipetune_session()
+        session.warm_start(type12_workloads())
+        pipetune = execute_job(make_pipetune_spec(session, LENET_MNIST, seed=0))
+        v1 = execute_job(make_v1_spec(LENET_MNIST, seed=0))
+        assert pipetune.best_accuracy == pytest.approx(v1.best_accuracy, abs=0.03)
+
+    def test_tuning_time_below_v1(self):
+        session = make_pipetune_session()
+        session.warm_start(type12_workloads())
+        pipetune = execute_job(make_pipetune_spec(session, LENET_MNIST, seed=0))
+        v1 = execute_job(make_v1_spec(LENET_MNIST, seed=0))
+        assert pipetune.tuning_time_s < v1.tuning_time_s
+
+    def test_tuning_energy_below_v1(self):
+        session = make_pipetune_session()
+        session.warm_start(type12_workloads())
+        pipetune = execute_job(make_pipetune_spec(session, LENET_MNIST, seed=0))
+        v1 = execute_job(make_v1_spec(LENET_MNIST, seed=0))
+        assert pipetune.tuning_energy_j < v1.tuning_energy_j
+
+    def test_trials_reconfigure_away_from_default(self):
+        session = make_pipetune_session()
+        session.warm_start(type12_workloads())
+        result = execute_job(make_pipetune_spec(session, LENET_MNIST, seed=0))
+        assert session.stats.reconfigurations > 0
+        assert any(
+            t.final_system != spec_default
+            for t in result.trials
+            for spec_default in [SystemParams(cores=8, memory_gb=32.0)]
+        )
+
+
+class TestAblations:
+    def test_ground_truth_disabled_always_probes(self):
+        config = PipeTuneConfig(use_ground_truth=False)
+        session = make_pipetune_session(config=config)
+        session.warm_start(type12_workloads())
+        run_pipetune_job(session, epochs=10)
+        assert session.stats.ground_truth_hits == 0
+        assert session.stats.probing_trials > 0
+
+    def test_non_pipelined_variant_is_slower(self):
+        def tuning_time(pipelined):
+            config = PipeTuneConfig(pipelined=pipelined, decision_delay_s=10.0)
+            session = make_pipetune_session(config=config)
+            session.warm_start(type12_workloads())
+            return run_pipetune_job(session, epochs=10).tuning_time_s
+
+        assert tuning_time(False) > tuning_time(True)
+
+    def test_clip_to_cluster(self):
+        session = PipeTuneSession(max_cores=8, max_memory_gb=16.0)
+        clipped = session.clip_to_cluster(SystemParams(cores=16, memory_gb=32.0))
+        assert clipped == SystemParams(cores=8, memory_gb=16.0)
+        untouched = session.clip_to_cluster(SystemParams(cores=4, memory_gb=8.0))
+        assert untouched == SystemParams(cores=4, memory_gb=8.0)
+
+
+class TestStartHints:
+    def test_hint_set_after_resolution(self):
+        session = make_pipetune_session()
+        session.warm_start(type12_workloads())
+        assert session.start_hint(LENET_MNIST) is None
+        run_pipetune_job(session)
+        assert session.start_hint(LENET_MNIST) is not None
+
+    def test_hint_is_per_workload(self):
+        session = make_pipetune_session()
+        session.warm_start(type12_workloads())
+        run_pipetune_job(session, workload=LENET_MNIST)
+        assert session.start_hint(LENET_FASHION) is None

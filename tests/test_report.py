@@ -1,0 +1,110 @@
+"""Tests for the ASCII reporting helpers."""
+
+import pytest
+
+from repro.report import bar_chart, comparison_summary, convergence_chart, line_chart
+from repro.tune.runner import TimelinePoint
+
+
+class TestBarChart:
+    def test_renders_proportional_bars(self):
+        text = bar_chart([("a", 10.0), ("b", 5.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_title_and_unit(self):
+        text = bar_chart([("x", 1.0)], title="T", unit="s")
+        assert text.startswith("T\n")
+        assert "1.00s" in text
+
+    def test_zero_values_ok(self):
+        text = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "█" not in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+        with pytest.raises(ValueError):
+            bar_chart([("a", -1.0)])
+        with pytest.raises(ValueError):
+            bar_chart([("a", 1.0)], width=2)
+
+    def test_labels_aligned(self):
+        text = bar_chart([("short", 1.0), ("much-longer", 2.0)])
+        lines = text.splitlines()
+        assert lines[0].index("█") == lines[1].index("█") or (
+            lines[0].split()[1][0] == "█" and lines[1].split()[1][0] == "█"
+        )
+
+
+class TestLineChart:
+    def test_renders_all_series_markers(self):
+        text = line_chart(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]}, width=20, height=6
+        )
+        assert "*" in text and "o" in text
+        assert "* a" in text and "o b" in text
+
+    def test_axis_labels_present(self):
+        text = line_chart(
+            {"s": [(0.0, 10.0), (100.0, 50.0)]},
+            width=30,
+            height=6,
+            x_label="t",
+            y_label="acc",
+        )
+        assert "50.0" in text  # y max
+        assert "10.0" in text  # y min
+        assert "[y: acc]" in text
+
+    def test_single_point_series(self):
+        text = line_chart({"s": [(5.0, 5.0)]}, width=15, height=5)
+        assert "*" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"s": []})
+        with pytest.raises(ValueError):
+            line_chart({"s": [(0, 0)]}, width=2)
+
+
+class TestComparisonSummary:
+    def test_improvement_direction(self):
+        text = comparison_summary("v1", 100.0, {"pt": 80.0, "v2": 120.0})
+        assert "pt vs v1: -20.0% (better)" in text
+        assert "v2 vs v1: +20.0% (worse)" in text
+
+    def test_higher_is_better_mode(self):
+        text = comparison_summary(
+            "v1", 0.9, {"pt": 0.95}, lower_is_better=False
+        )
+        assert "(better)" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            comparison_summary("v1", 0.0, {"pt": 1.0})
+
+
+class TestConvergenceChart:
+    def point(self, t, acc):
+        return TimelinePoint(
+            wall_time_s=t,
+            trial_id="t",
+            trial_accuracy=acc,
+            trial_training_time_s=10.0,
+            best_score=acc,
+            best_accuracy=acc,
+        )
+
+    def test_renders_from_timelines(self):
+        text = convergence_chart(
+            {
+                "pipetune": [self.point(0.0, 0.5), self.point(100.0, 0.9)],
+                "tune-v1": [self.point(0.0, 0.4), self.point(150.0, 0.9)],
+            }
+        )
+        assert "pipetune" in text and "tune-v1" in text
+        assert "convergence" in text

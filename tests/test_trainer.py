@@ -1,0 +1,249 @@
+"""Tests for the trial trainer (DES training process + hooks)."""
+
+import pytest
+
+from repro.simulation.cluster import NodeSpec, SimCluster
+from repro.simulation.des import Environment
+from repro.simulation.power import EnergyMeter
+from repro.tune.trainer import TrialContext, TrialHooks, run_trial, trial_energy_j
+from repro.tune.trial import EpochRecord
+from repro.workloads.registry import LENET_MNIST
+from repro.workloads.spec import HyperParams, SystemParams
+
+
+def make_env(nodes=1, cores=16, memory=64.0):
+    env = Environment()
+    cluster = SimCluster(
+        env, [NodeSpec(name=f"n{i}", cores=cores, memory_gb=memory) for i in range(nodes)]
+    )
+    return env, cluster
+
+
+def run(env, cluster, **kwargs):
+    defaults = dict(
+        trial_id="t0",
+        workload=LENET_MNIST,
+        hyper=HyperParams(batch_size=64, epochs=4),
+        system=SystemParams(cores=4, memory_gb=16.0),
+    )
+    defaults.update(kwargs)
+    process = env.process(run_trial(env, cluster, **defaults))
+    env.run()
+    return process.value
+
+
+class TestBasicTraining:
+    def test_runs_all_epochs(self):
+        env, cluster = make_env()
+        result = run(env, cluster)
+        assert result.epochs_run == 4
+        assert result.segment_epochs == 4
+        assert [r.epoch for r in result.records] == [1, 2, 3, 4]
+
+    def test_training_time_is_sum_of_epochs(self):
+        env, cluster = make_env()
+        result = run(env, cluster)
+        assert result.training_time_s == pytest.approx(
+            sum(r.duration_s for r in result.records)
+        )
+
+    def test_wall_time_matches_training_when_unqueued(self):
+        env, cluster = make_env()
+        result = run(env, cluster)
+        assert result.wall_time_s == pytest.approx(result.training_time_s)
+
+    def test_accuracy_is_final_epoch(self):
+        env, cluster = make_env()
+        result = run(env, cluster)
+        assert result.accuracy == result.records[-1].accuracy
+
+    def test_resources_released_at_end(self):
+        env, cluster = make_env()
+        run(env, cluster)
+        node = cluster.nodes[0]
+        assert node.cores.level == node.spec.cores
+        assert node.memory.level == node.spec.memory_gb
+
+    def test_resume_skips_done_epochs(self):
+        env, cluster = make_env()
+        result = run(env, cluster, start_epoch=2, target_epochs=4)
+        assert result.segment_epochs == 2
+        assert result.epochs_run == 4
+        assert [r.epoch for r in result.records] == [3, 4]
+
+    def test_invalid_target_epochs(self):
+        env, cluster = make_env()
+        with pytest.raises(ValueError):
+            run(env, cluster, start_epoch=4, target_epochs=4)
+
+    def test_setup_cost_delays_training(self):
+        env, cluster = make_env()
+        a = run(env, cluster, setup_cost_s=0.0)
+        env2, cluster2 = make_env()
+        b = run(env2, cluster2, trial_id="t0", setup_cost_s=30.0)
+        assert b.wall_time_s == pytest.approx(a.wall_time_s + 30.0)
+
+    def test_negative_setup_cost_rejected(self):
+        env, cluster = make_env()
+        with pytest.raises(ValueError):
+            run(env, cluster, setup_cost_s=-1.0)
+
+    def test_deterministic_given_trial_id(self):
+        env, cluster = make_env()
+        a = run(env, cluster, trial_id="same")
+        env2, cluster2 = make_env()
+        b = run(env2, cluster2, trial_id="same")
+        assert a.accuracy == b.accuracy
+        assert a.training_time_s == b.training_time_s
+
+
+class TestEnergyAccounting:
+    def test_trial_energy_positive_and_recorded(self):
+        env, cluster = make_env()
+        result = run(env, cluster)
+        assert result.energy_j > 0
+        assert result.energy_j == pytest.approx(
+            sum(r.energy_j for r in result.records)
+        )
+
+    def test_trial_energy_below_node_energy(self):
+        """Attributed energy never exceeds what the node consumed."""
+        env, cluster = make_env()
+        meter = EnergyMeter(env, cluster)
+        result = run(env, cluster)
+        assert result.energy_j <= meter.total_energy_joules() + 1e-6
+
+    def test_trial_energy_helper(self):
+        env, cluster = make_env()
+
+        class Grab(TrialHooks):
+            allocation = None
+
+            def on_start(self, ctx):
+                Grab.allocation = ctx.allocation
+
+        run(env, cluster, hooks=Grab())
+        energy = trial_energy_j(
+            LENET_MNIST, SystemParams(cores=4, memory_gb=16.0), Grab.allocation, 4.0, 10.0
+        )
+        spec = Grab.allocation.node.spec
+        expected = (4.0 * spec.core_watts + spec.idle_watts * 4 / spec.cores) * 10.0
+        assert energy == pytest.approx(expected)
+
+
+class TestHooks:
+    def test_hooks_called_in_order(self):
+        calls = []
+
+        class Spy(TrialHooks):
+            def on_start(self, ctx):
+                calls.append("start")
+
+            def before_epoch(self, ctx, epoch):
+                calls.append(f"before{epoch}")
+                return None
+
+            def after_epoch(self, ctx, record):
+                calls.append(f"after{record.epoch}")
+
+            def on_end(self, ctx, result):
+                calls.append("end")
+
+        env, cluster = make_env()
+        run(env, cluster, hooks=Spy(), hyper=HyperParams(batch_size=64, epochs=2))
+        assert calls == ["start", "before1", "after1", "before2", "after2", "end"]
+
+    def test_before_epoch_resizes_system(self):
+        class Downsize(TrialHooks):
+            def before_epoch(self, ctx, epoch):
+                if epoch == 2:
+                    return SystemParams(cores=8, memory_gb=8.0)
+                return None
+
+        env, cluster = make_env()
+        result = run(env, cluster, hooks=Downsize())
+        assert result.records[0].system.cores == 4
+        assert result.records[1].system.cores == 8
+        assert result.final_system.cores == 8
+
+    def test_failed_grow_keeps_old_shape(self):
+        class GrowTooBig(TrialHooks):
+            def before_epoch(self, ctx, epoch):
+                if epoch == 2:
+                    return SystemParams(cores=99, memory_gb=8.0)
+                return None
+
+        env, cluster = make_env(cores=16)
+        result = run(env, cluster, hooks=GrowTooBig())
+        assert result.records[1].system.cores == 4  # unchanged
+
+    def test_profiling_adds_overhead_and_profile(self):
+        class ProfileFirst(TrialHooks):
+            def wants_profiling(self, ctx, epoch):
+                return epoch == 1
+
+        env, cluster = make_env()
+        result = run(env, cluster, hooks=ProfileFirst())
+        assert result.records[0].profiled
+        assert result.records[0].profile is not None
+        assert not result.records[1].profiled
+        # overhead: profiled epoch slower than the same epoch unprofiled
+        env2, cluster2 = make_env()
+        plain = run(env2, cluster2)
+        assert result.records[0].duration_s > plain.records[0].duration_s
+
+    def test_extra_delay_hook(self):
+        class Slow(TrialHooks):
+            def epoch_extra_delay_s(self, ctx, epoch):
+                return 7.0
+
+        env, cluster = make_env()
+        slow = run(env, cluster, hooks=Slow())
+        env2, cluster2 = make_env()
+        fast = run(env2, cluster2)
+        assert slow.training_time_s == pytest.approx(
+            fast.training_time_s + 4 * 7.0
+        )
+
+    def test_probe_epoch_flag(self):
+        class Probe(TrialHooks):
+            def is_probe_epoch(self, ctx, epoch):
+                return epoch == 2
+
+        env, cluster = make_env()
+        result = run(env, cluster, hooks=Probe())
+        assert [r.probed for r in result.records] == [False, True, False, False]
+
+    def test_context_exposes_targets(self):
+        seen = {}
+
+        class Inspect(TrialHooks):
+            def on_start(self, ctx):
+                seen["target"] = ctx.target_epochs
+                seen["start"] = ctx.start_epoch
+
+        env, cluster = make_env()
+        run(env, cluster, hooks=Inspect(), start_epoch=1, target_epochs=3)
+        assert seen == {"target": 3, "start": 1}
+
+
+class TestTrialResultHelpers:
+    def test_mean_epoch_time_uses_final_system(self):
+        class Downsize(TrialHooks):
+            def before_epoch(self, ctx, epoch):
+                if epoch == 3:
+                    return SystemParams(cores=8, memory_gb=8.0)
+                return None
+
+        env, cluster = make_env()
+        result = run(env, cluster, hooks=Downsize())
+        final_records = [r for r in result.records if r.system.cores == 8]
+        expected = sum(r.duration_s for r in final_records) / len(final_records)
+        assert result.mean_epoch_time_s() == pytest.approx(expected)
+
+    def test_full_training_time_estimate_scales_by_epochs(self):
+        env, cluster = make_env()
+        result = run(env, cluster, start_epoch=2, target_epochs=4)
+        assert result.full_training_time_estimate() == pytest.approx(
+            result.mean_epoch_time_s() * 4
+        )

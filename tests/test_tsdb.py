@@ -1,0 +1,171 @@
+"""Tests for the embedded time-series store."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tsdb.point import Point
+from repro.tsdb.store import TimeSeriesStore
+
+
+def pt(measurement="power", time=0.0, tags=None, **fields):
+    return Point(
+        measurement=measurement,
+        time=time,
+        tags=tags or {},
+        fields=fields or {"value": 1.0},
+    )
+
+
+class TestPoint:
+    def test_requires_fields(self):
+        with pytest.raises(ValueError):
+            Point(measurement="m", time=0.0, fields={})
+
+    def test_measurement_validation(self):
+        with pytest.raises(ValueError):
+            Point(measurement="", time=0.0, fields={"v": 1.0})
+        with pytest.raises(ValueError):
+            Point(measurement="has space", time=0.0, fields={"v": 1.0})
+
+    def test_tag_values_must_be_strings(self):
+        with pytest.raises(TypeError):
+            Point(measurement="m", time=0.0, tags={"k": 5}, fields={"v": 1.0})
+
+    def test_field_values_must_be_numeric(self):
+        with pytest.raises(TypeError):
+            Point(measurement="m", time=0.0, fields={"v": "str"})
+        with pytest.raises(TypeError):
+            Point(measurement="m", time=0.0, fields={"v": True})
+
+    def test_matches_tags(self):
+        point = pt(tags={"node": "n0", "job": "j1"}, value=1.0)
+        assert point.matches({"node": "n0"})
+        assert point.matches({"node": "n0", "job": "j1"})
+        assert not point.matches({"node": "n1"})
+        assert not point.matches({"missing": "x"})
+
+    def test_line_roundtrip(self):
+        point = Point(
+            measurement="watts",
+            time=12.5,
+            tags={"node": "n0", "rack": "r1"},
+            fields={"value": 103.25, "cores": 8.0},
+        )
+        assert Point.from_line(point.to_line()) == point
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            Point.from_line("garbage")
+
+    @given(
+        time=st.floats(min_value=0, max_value=1e9),
+        value=st.floats(min_value=-1e6, max_value=1e6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_line_roundtrip_property(self, time, value):
+        point = pt(time=time, value=value)
+        assert Point.from_line(point.to_line()) == point
+
+
+class TestStore:
+    def test_write_and_count(self):
+        store = TimeSeriesStore()
+        store.write(pt(time=1.0))
+        store.write(pt(time=2.0))
+        assert len(store) == 2
+        assert store.measurements() == ["power"]
+
+    def test_query_time_window_half_open(self):
+        store = TimeSeriesStore()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            store.write(pt(time=t, value=t))
+        window = store.query("power", start=1.0, end=3.0)
+        assert [p.time for p in window] == [1.0, 2.0]
+
+    def test_query_by_tags(self):
+        store = TimeSeriesStore()
+        store.write(pt(time=0.0, tags={"node": "a"}))
+        store.write(pt(time=1.0, tags={"node": "b"}))
+        assert len(store.query("power", tags={"node": "a"})) == 1
+
+    def test_out_of_order_writes_are_sorted(self):
+        store = TimeSeriesStore()
+        for t in (5.0, 1.0, 3.0):
+            store.write(pt(time=t))
+        assert [p.time for p in store.query("power")] == [1.0, 3.0, 5.0]
+
+    def test_field_values(self):
+        store = TimeSeriesStore()
+        for t, v in ((0.0, 10.0), (1.0, 20.0)):
+            store.write(pt(time=t, value=v))
+        assert store.field_values("power", "value") == [10.0, 20.0]
+        assert store.field_values("power", "missing") == []
+
+    def test_aggregate_mean_windows(self):
+        store = TimeSeriesStore()
+        for t in range(10):
+            store.write(pt(time=float(t), value=float(t)))
+        buckets = store.aggregate_windows("power", "value", window_s=5.0)
+        assert buckets == [(0.0, 2.0), (5.0, 7.0)]
+
+    def test_aggregate_other_functions(self):
+        store = TimeSeriesStore()
+        for t, v in ((0.0, 1.0), (1.0, 5.0), (2.0, 3.0)):
+            store.write(pt(time=t, value=v))
+        assert store.aggregate_windows("power", "value", 10.0, agg="max") == [(0.0, 5.0)]
+        assert store.aggregate_windows("power", "value", 10.0, agg="min") == [(0.0, 1.0)]
+        assert store.aggregate_windows("power", "value", 10.0, agg="sum") == [(0.0, 9.0)]
+        assert store.aggregate_windows("power", "value", 10.0, agg="count") == [(0.0, 3)]
+
+    def test_aggregate_validation(self):
+        store = TimeSeriesStore()
+        store.write(pt())
+        with pytest.raises(ValueError):
+            store.aggregate_windows("power", "value", 0.0)
+        with pytest.raises(ValueError):
+            store.aggregate_windows("power", "value", 5.0, agg="median?")
+
+    def test_aggregate_empty(self):
+        assert TimeSeriesStore().aggregate_windows("power", "value", 5.0) == []
+
+    def test_dump_load_roundtrip(self):
+        store = TimeSeriesStore()
+        store.write(pt(time=1.0, tags={"node": "a"}, value=10.0))
+        store.write(pt(measurement="acc", time=2.0, value=0.5))
+        buffer = io.StringIO()
+        count = store.dump(buffer)
+        assert count == 2
+        buffer.seek(0)
+        loaded = TimeSeriesStore.load_stream(buffer)
+        assert len(loaded) == 2
+        assert loaded.query("acc")[0].fields["value"] == 0.5
+
+    def test_save_load_file(self, tmp_path):
+        store = TimeSeriesStore()
+        for t in range(5):
+            store.write(pt(time=float(t), value=float(t * 2)))
+        path = str(tmp_path / "db.jsonl")
+        assert store.save(path) == 5
+        loaded = TimeSeriesStore.load(path)
+        assert store.field_values("power", "value") == loaded.field_values(
+            "power", "value"
+        )
+
+    @given(
+        times=st.lists(
+            st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_query_returns_sorted_subset(self, times):
+        store = TimeSeriesStore()
+        for t in times:
+            store.write(pt(time=t))
+        result = [p.time for p in store.query("power")]
+        assert result == sorted(times)
+        mid = sorted(times)[len(times) // 2]
+        windowed = [p.time for p in store.query("power", start=mid)]
+        assert windowed == [t for t in sorted(times) if t >= mid]
