@@ -67,6 +67,15 @@ def test_pmu_read_interval(benchmark):
     assert len(readings) == 58
 
 
+def test_pmu_final_counts(benchmark):
+    config = TrialConfig(
+        LENET_MNIST, HyperParams(batch_size=64), SystemParams(cores=8, memory_gb=16.0)
+    )
+    pmu = Pmu()
+    final = benchmark(lambda: pmu.final_counts(config, 60.0, 6.0, epoch=1))
+    assert final.shape == (58,)
+
+
 def test_profiler_epoch(benchmark):
     config = TrialConfig(
         LENET_MNIST, HyperParams(batch_size=64), SystemParams(cores=8, memory_gb=16.0)

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Run the substrate microbenchmarks and diff them against a baseline.
+
+Runs ``benchmarks/test_micro.py`` under pytest-benchmark, then compares
+each benchmark's mean time against ``benchmarks/micro_baseline.json``
+(committed). A regression beyond ``--threshold`` (ratio of current to
+baseline mean) fails the script, so slowdowns in the simulator
+substrate show up in review instead of silently accumulating.
+
+Usage:
+    PYTHONPATH=src python scripts/bench_compare.py             # compare
+    PYTHONPATH=src python scripts/bench_compare.py --update    # rebaseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO_ROOT, "benchmarks", "micro_baseline.json")
+MICRO_SUITE = os.path.join(REPO_ROOT, "benchmarks", "test_micro.py")
+
+
+def run_benchmarks() -> dict:
+    """Run the micro suite, returning {benchmark_name: mean_seconds}."""
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = os.path.join(tmp, "bench.json")
+        env = dict(os.environ)
+        src = os.path.join(REPO_ROOT, "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                MICRO_SUITE,
+                "-q",
+                f"--benchmark-json={json_path}",
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        if result.returncode != 0:
+            sys.stderr.write(result.stdout)
+            sys.stderr.write(result.stderr)
+            raise SystemExit("microbenchmark run failed")
+        with open(json_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    return {b["name"]: b["stats"]["mean"] for b in payload["benchmarks"]}
+
+
+def load_baseline() -> dict:
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)["means_s"]
+
+
+def save_baseline(means: dict) -> None:
+    payload = {
+        "note": "mean seconds per benchmarks/test_micro.py benchmark; "
+        "regenerate with scripts/bench_compare.py --update",
+        "means_s": {name: means[name] for name in sorted(means)},
+    }
+    with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def format_row(name: str, base: float, cur: float, threshold: float) -> str:
+    ratio = cur / base if base > 0 else float("inf")
+    flag = "REGRESSION" if ratio > threshold else (
+        "improved" if ratio < 1 / 1.2 else ""
+    )
+    return f"{name:32s} {base * 1e6:12.1f} {cur * 1e6:12.1f} {ratio:8.2f}x  {flag}"
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the baseline from this run"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="fail when current/baseline mean exceeds this ratio (default 1.5)",
+    )
+    args = parser.parse_args()
+
+    current = run_benchmarks()
+    if args.update or not os.path.exists(BASELINE_PATH):
+        save_baseline(current)
+        print(f"baseline written: {BASELINE_PATH}")
+        raise SystemExit(0)
+
+    baseline = load_baseline()
+    print(f"{'benchmark':32s} {'base (us)':>12s} {'now (us)':>12s} {'ratio':>9s}")
+    regressions = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            print(f"{name:32s} {'new':>12s} {current[name] * 1e6:12.1f}")
+            continue
+        if name not in current:
+            print(f"{name:32s} {baseline[name] * 1e6:12.1f} {'missing':>12s}")
+            regressions.append(name)
+            continue
+        print(format_row(name, baseline[name], current[name], args.threshold))
+        if current[name] / baseline[name] > args.threshold:
+            regressions.append(name)
+    if regressions:
+        raise SystemExit(f"regressions beyond {args.threshold}x: {regressions}")
+    print("no regressions beyond threshold")

@@ -64,6 +64,10 @@ class KMeans:
         self.centroids: Optional[np.ndarray] = None
         self.labels: Optional[np.ndarray] = None
         self.inertia: float = float("inf")
+        #: per-cluster sums of squared distances (length k) and member
+        #: counts of the training assignment.
+        self.cluster_inertias: Optional[np.ndarray] = None
+        self.cluster_sizes: Optional[np.ndarray] = None
 
     # -- fitting ------------------------------------------------------------
     def _init_centroids(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -98,8 +102,8 @@ class KMeans:
                 break
         d2 = pairwise_sq_distances(x, centroids)
         labels = d2.argmin(axis=1)
-        inertia = float(d2[np.arange(len(x)), labels].sum())
-        return centroids, labels, inertia
+        per_point = d2[np.arange(len(x)), labels]
+        return centroids, labels, float(per_point.sum()), per_point
 
     def fit(self, x) -> "KMeans":
         x = _as_matrix(x)
@@ -112,7 +116,11 @@ class KMeans:
             result = self._lloyd(x, centroids, rng)
             if best is None or result[2] < best[2]:
                 best = result
-        self.centroids, self.labels, self.inertia = best
+        self.centroids, self.labels, self.inertia, per_point = best
+        self.cluster_inertias = np.bincount(
+            self.labels, weights=per_point, minlength=self.k
+        )
+        self.cluster_sizes = np.bincount(self.labels, minlength=self.k)
         return self
 
     # -- inference -----------------------------------------------------------
@@ -138,12 +146,12 @@ class KMeans:
         profile's centroid distance against (§5.6).
         """
         self._require_fit()
-        members = self.labels == label
-        count = int(members.sum())
+        if not 0 <= label < self.k:
+            return 0.0
+        count = int(self.cluster_sizes[label])
         if count == 0:
             return 0.0
-        # per-cluster inertia
-        return float(np.sqrt(self.inertia / max(1, len(self.labels))) )
+        return float(np.sqrt(self.cluster_inertias[label] / count))
 
 
 class NearestCentroid:

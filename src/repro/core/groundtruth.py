@@ -15,7 +15,7 @@ never used in the lookup.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -90,28 +90,48 @@ class GroundTruth:
         self.entries: List[GroundTruthEntry] = []
         self._model: Optional[KMeans] = None
         self._dirty = False
+        #: cached (n, d) stack of entry features; rebuilt only when
+        #: entries were added since the last refit/lookup.
+        self._matrix: Optional[np.ndarray] = None
+        #: per-cluster entry indices and feature matrices of the fitted
+        #: model, so query() stops rebuilding them per lookup.
+        self._cluster_idx: Dict[int, np.ndarray] = {}
+        self._cluster_features: Dict[int, np.ndarray] = {}
 
     # -- maintenance ----------------------------------------------------------
     def add(self, entry: GroundTruthEntry) -> None:
         self.entries.append(entry)
         self._dirty = True
+        self._matrix = None
 
     def __len__(self) -> int:
         return len(self.entries)
 
     def _feature_matrix(self) -> np.ndarray:
-        return np.array([e.features for e in self.entries])
+        if self._matrix is None or len(self._matrix) != len(self.entries):
+            self._matrix = np.array([e.features for e in self.entries])
+        return self._matrix
 
     def refit(self) -> None:
         """(Re-)cluster the stored profiles (paper's re-clustering, §5.6)."""
         if len(self.entries) < max(self.min_entries, self.k):
             self._model = None
             self._dirty = False
+            self._cluster_idx = {}
+            self._cluster_features = {}
             return
         model = self._clusterer_factory(self.k)
-        model.fit(self._feature_matrix())
+        matrix = self._feature_matrix()
+        model.fit(matrix)
         self._model = model
         self._dirty = False
+        labels = np.asarray(model.labels)
+        self._cluster_idx = {}
+        self._cluster_features = {}
+        for cluster in np.unique(labels):
+            idx = np.flatnonzero(labels == cluster)
+            self._cluster_idx[int(cluster)] = idx
+            self._cluster_features[int(cluster)] = matrix[idx]
 
     @property
     def model(self) -> Optional[KMeans]:
@@ -142,15 +162,13 @@ class GroundTruth:
         # Nearest stored entry within the matched cluster decides the
         # configuration (batch-size regimes of one workload land on
         # different entries even inside one cluster).
-        member_idx = [
-            i for i, label in enumerate(model.labels) if label == cluster
-        ]
-        if not member_idx:
+        member_idx = self._cluster_idx.get(cluster)
+        if member_idx is None or len(member_idx) == 0:
             return None
-        members = np.array([self.entries[i].features for i in member_idx])
-        nearest = member_idx[
-            int(pairwise_sq_distances(features[None, :], members).argmin())
-        ]
+        members = self._cluster_features[cluster]
+        nearest = int(
+            member_idx[int(pairwise_sq_distances(features[None, :], members).argmin())]
+        )
         entry = self.entries[nearest]
         return GroundTruthMatch(
             system=entry.best_system,

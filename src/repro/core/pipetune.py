@@ -464,17 +464,15 @@ class PipeTuneSession:
             if candidate is None:
                 break
             config = TrialConfig(workload, hyper, candidate)
+            # Energy model mirrors the trainer's attribution; the idle
+            # draw depends only on the candidate, not the repetition.
+            idle_draw_w = 60.0 * candidate.cores / self.max_cores
             durations, energies = [], []
             for rep in range(max(1, repetitions)):
                 cost = epoch_cost(config, epoch=1000 + epoch_index * 10 + rep)
                 busy = active_cores(config, cost)
-                spec = None
                 durations.append(cost.total_s)
-                # Energy model mirrors the trainer's attribution.
-                energies.append(
-                    (busy * 11.5 + 60.0 * candidate.cores / self.max_cores)
-                    * cost.total_s
-                )
+                energies.append((busy * 11.5 + idle_draw_w) * cost.total_s)
             controller.record(
                 ProbeSample(
                     system=candidate,

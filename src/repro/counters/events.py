@@ -116,6 +116,21 @@ def is_compute_side(event: str) -> bool:
     return event in _COMPUTE_SIDE
 
 
+#: boolean mask over :data:`EVENT_NAMES`: True where the event is
+#: compute-side (model-driven); the complement is memory/IO-side.
+COMPUTE_SIDE_MASK: np.ndarray = np.array(
+    [name in _COMPUTE_SIDE for name in EVENT_NAMES]
+)
+COMPUTE_SIDE_MASK.setflags(write=False)
+
+#: mask of the "missy" events whose rates react to memory pressure and
+#: batch-size locality (cache/TLB misses and pipeline bubbles).
+MISSY_MASK: np.ndarray = np.array(
+    ["miss" in name.lower() or "bubbles" in name.lower() for name in EVENT_NAMES]
+)
+MISSY_MASK.setflags(write=False)
+
+
 #: order-of-magnitude anchors per event family, events/second on one
 #: busy core (Fig 2's colour scale spans < 1e2 .. > 1e8 per epoch).
 _FAMILY_SCALE: Dict[str, float] = {
@@ -144,6 +159,20 @@ def _family_scale(event: str) -> float:
     return 1.0e7
 
 
+#: per-event family anchors in :data:`EVENT_NAMES` order.
+FAMILY_SCALE_VECTOR: np.ndarray = np.array(
+    [_family_scale(name) for name in EVENT_NAMES]
+)
+FAMILY_SCALE_VECTOR.setflags(write=False)
+
+#: memoized signatures; a signature depends only on the identifying
+#: names of the workload, and every PMU read needs it, so recomputing
+#: the sha256-seeded draws per read would dominate profiling time. The
+#: cached arrays are frozen (non-writeable) — callers receive the
+#: shared instance and must copy before mutating.
+_SIGNATURE_CACHE: Dict[Tuple[str, str, str], np.ndarray] = {}
+
+
 def workload_signature(workload: WorkloadSpec) -> np.ndarray:
     """Per-event base rates (events per busy-core-second) for a workload.
 
@@ -151,23 +180,40 @@ def workload_signature(workload: WorkloadSpec) -> np.ndarray:
     *model* name; memory-side rates from one seeded by the *dataset*
     name. A small workload-specific wobble is layered on top so the two
     workloads of a pair are similar but not identical.
+
+    Returns a cached, read-only array shared between calls.
     """
+    key = (workload.name, workload.model, workload.dataset)
+    cached = _SIGNATURE_CACHE.get(key)
+    if cached is not None:
+        return cached
     model_rng = rng_for("pmu-signature", "model", workload.model)
     dataset_rng = rng_for("pmu-signature", "dataset", workload.dataset)
     wobble_rng = rng_for("pmu-signature", "workload", workload.name)
+    compute = COMPUTE_SIDE_MASK
+    memory = ~compute
     rates = np.empty(NUM_EVENTS)
-    for i, event in enumerate(EVENT_NAMES):
-        rng = model_rng if is_compute_side(event) else dataset_rng
-        base = _family_scale(event)
-        # log-normal spread of half a decade around the family anchor
-        rates[i] = base * 10.0 ** rng.normal(0.0, 0.5)
-        rates[i] *= 10.0 ** wobble_rng.normal(0.0, 0.05)
+    # log-normal spread of half a decade around the family anchor; the
+    # nth compute-side event consumes the nth model draw (and likewise
+    # for memory-side/dataset), matching the original per-event loop.
+    rates[compute] = FAMILY_SCALE_VECTOR[compute] * 10.0 ** model_rng.normal(
+        0.0, 0.5, size=int(compute.sum())
+    )
+    rates[memory] = FAMILY_SCALE_VECTOR[memory] * 10.0 ** dataset_rng.normal(
+        0.0, 0.5, size=int(memory.sum())
+    )
+    rates *= 10.0 ** wobble_rng.normal(0.0, 0.05, size=NUM_EVENTS)
+    rates.setflags(write=False)
+    _SIGNATURE_CACHE[key] = rates
     return rates
+
+
+_EVENT_INDEX: Dict[str, int] = {name: i for i, name in enumerate(EVENT_NAMES)}
 
 
 def event_index(event: str) -> int:
     """Index of an event name in :data:`EVENT_NAMES`."""
     try:
-        return EVENT_NAMES.index(event)
-    except ValueError:
+        return _EVENT_INDEX[event]
+    except KeyError:
         raise KeyError(f"unknown perf event {event!r}") from None

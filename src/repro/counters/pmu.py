@@ -26,7 +26,9 @@ from ..workloads.spec import TrialConfig, rng_for
 from .events import (
     EVENT_NAMES,
     FIXED_COUNTER_EVENTS,
+    MISSY_MASK,
     NUM_EVENTS,
+    event_index,
     workload_signature,
 )
 
@@ -56,20 +58,20 @@ class CounterReading:
         return self.raw_count * self.time_enabled / self.time_running
 
 
-def _event_modifier(config: TrialConfig, event: str) -> float:
-    """Configuration-dependent deviation from the base signature rate.
+def _modifier_vector(config: TrialConfig) -> np.ndarray:
+    """Configuration-dependent deviation from the base signature rates.
 
     * memory pressure inflates cache-/TLB-miss style events;
     * larger batches improve locality, deflating miss rates slightly.
     """
     penalty = memory_penalty(config.workload, config.hyper, config.system)
-    lowered = event.lower()
-    missy = "miss" in lowered or "bubbles" in lowered
-    modifier = 1.0
-    if missy:
-        modifier *= penalty**1.5
-        modifier *= (32.0 / max(32, config.hyper.batch_size)) ** 0.1
-    return modifier
+    missy_modifier = penalty**1.5 * (32.0 / max(32, config.hyper.batch_size)) ** 0.1
+    return np.where(MISSY_MASK, missy_modifier, 1.0)
+
+
+def _event_modifier(config: TrialConfig, event: str) -> float:
+    """Single-event view of :func:`_modifier_vector`."""
+    return float(_modifier_vector(config)[event_index(event)])
 
 
 def true_counts(
@@ -90,9 +92,7 @@ def true_counts(
         raise ValueError("duration must be non-negative")
     signature = workload_signature(config.workload)
     core_seconds = duration_s * max(0.0, busy_cores)
-    counts = np.empty(NUM_EVENTS)
-    for i, event in enumerate(EVENT_NAMES):
-        counts[i] = signature[i] * core_seconds * _event_modifier(config, event)
+    counts = signature * core_seconds * _modifier_vector(config)
     if noisy:
         rng = config.workload.rng("pmu-noise", config.hyper, config.system, epoch)
         counts *= np.exp(rng.normal(0.0, 0.03, size=NUM_EVENTS))
@@ -109,11 +109,50 @@ class Pmu:
             raise ValueError("more fixed events than fixed counters")
         self._fixed = frozenset(fixed)
         self._generic_events = [e for e in EVENT_NAMES if e not in self._fixed]
+        self._generic_idx = np.array(
+            [i for i, e in enumerate(EVENT_NAMES) if e not in self._fixed]
+        )
 
     @property
     def generic_share(self) -> float:
         """Fraction of wall time each multiplexed event is measured."""
         return NUM_GENERIC_COUNTERS / len(self._generic_events)
+
+    def _observe(
+        self,
+        config: TrialConfig,
+        duration_s: float,
+        busy_cores: float,
+        epoch: int,
+        noisy: bool,
+    ):
+        """Vector kernel shared by :meth:`read_interval` and
+        :meth:`final_counts`: returns ``(raw, time_running)`` arrays in
+        :data:`EVENT_NAMES` order (``time_enabled`` is ``duration_s``
+        for every event).
+
+        Multiplexed events observe only ``generic_share`` of the
+        interval; their raw counts carry extra sampling error because
+        the unobserved windows may not look like the observed ones
+        (blind spots, §5.3). The nth generic event consumes the nth
+        blind-spot draw, so the noise stream matches the historical
+        per-event loop draw for draw.
+        """
+        truth = true_counts(config, duration_s, busy_cores, epoch=epoch, noisy=noisy)
+        share = self.generic_share
+        generic = self._generic_idx
+        raw = truth.copy()
+        raw[generic] = truth[generic] * share
+        if noisy:
+            rng = rng_for(
+                "pmu-mux", self._seed, config.workload.name, config.hyper, config.system, epoch
+            )
+            # Blind-spot error shrinks with the observed share.
+            blind = rng.normal(0.0, 0.02 * (1.0 - share), size=len(generic))
+            raw[generic] = raw[generic] * np.maximum(0.0, 1.0 + blind)
+        running = np.full(NUM_EVENTS, duration_s)
+        running[generic] = duration_s * share
+        return raw, running
 
     def read_interval(
         self,
@@ -125,38 +164,20 @@ class Pmu:
     ) -> Dict[str, CounterReading]:
         """Measure all 58 events over one interval, with multiplexing.
 
-        Multiplexed events observe only ``generic_share`` of the
-        interval; their raw counts carry extra sampling error because
-        the unobserved windows may not look like the observed ones
-        (blind spots, §5.3).
+        Returns per-event :class:`CounterReading` objects; callers that
+        only need the rescaled vector should use :meth:`final_counts`,
+        which shares the same kernel without materializing readings.
         """
-        truth = true_counts(config, duration_s, busy_cores, epoch=epoch, noisy=noisy)
-        rng = rng_for(
-            "pmu-mux", self._seed, config.workload.name, config.hyper, config.system, epoch
-        )
-        readings: Dict[str, CounterReading] = {}
-        share = self.generic_share
-        for i, event in enumerate(EVENT_NAMES):
-            if event in self._fixed:
-                readings[event] = CounterReading(
-                    event=event,
-                    raw_count=truth[i],
-                    time_enabled=duration_s,
-                    time_running=duration_s,
-                )
-            else:
-                observed_fraction = share
-                raw = truth[i] * observed_fraction
-                if noisy:
-                    # Blind-spot error shrinks with the observed share.
-                    raw *= max(0.0, 1.0 + rng.normal(0.0, 0.02 * (1.0 - share)))
-                readings[event] = CounterReading(
-                    event=event,
-                    raw_count=raw,
-                    time_enabled=duration_s,
-                    time_running=duration_s * observed_fraction,
-                )
-        return readings
+        raw, running = self._observe(config, duration_s, busy_cores, epoch, noisy)
+        return {
+            event: CounterReading(
+                event=event,
+                raw_count=raw[i],
+                time_enabled=duration_s,
+                time_running=running[i],
+            )
+            for i, event in enumerate(EVENT_NAMES)
+        }
 
     def final_counts(
         self,
@@ -166,8 +187,15 @@ class Pmu:
         epoch: int = 0,
         noisy: bool = True,
     ) -> np.ndarray:
-        """Rescaled (``final_count``) vector in :data:`EVENT_NAMES` order."""
-        readings = self.read_interval(
-            config, duration_s, busy_cores, epoch=epoch, noisy=noisy
-        )
-        return np.array([readings[e].final_count for e in EVENT_NAMES])
+        """Rescaled (``final_count``) vector in :data:`EVENT_NAMES` order.
+
+        Fast path equivalent to collecting ``final_count`` from
+        :meth:`read_interval`, without building 58 dataclasses.
+        """
+        raw, running = self._observe(config, duration_s, busy_cores, epoch, noisy)
+        observed = running > 0.0
+        # Same operand order as CounterReading.final_count
+        # ((raw * enabled) / running) so results stay bit-identical.
+        final = raw * duration_s / np.where(observed, running, 1.0)
+        final[~observed] = 0.0
+        return final

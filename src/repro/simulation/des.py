@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 
@@ -358,7 +359,7 @@ class Resource:
         self.env = env
         self.capacity = capacity
         self.in_use = 0
-        self._waiters: List[Event] = []
+        self._waiters: "deque[Event]" = deque()
 
     def request(self) -> Event:
         """Return an event that fires once a unit is granted."""
@@ -375,7 +376,7 @@ class Resource:
         if self.in_use <= 0:
             raise SimulationError("release() without matching request()")
         if self._waiters:
-            grant = self._waiters.pop(0)
+            grant = self._waiters.popleft()
             grant.succeed(self)
         else:
             self.in_use -= 1
@@ -396,7 +397,7 @@ class Container:
         self.level = float(capacity if init is None else init)
         if not 0 <= self.level <= self.capacity:
             raise ValueError("initial level outside [0, capacity]")
-        self._waiters: List = []  # (amount, event), FIFO
+        self._waiters: deque = deque()  # (amount, event), FIFO
 
     def get(self, amount: float) -> Event:
         """Return an event that fires once ``amount`` is available."""
@@ -438,7 +439,7 @@ class Container:
         # Serve strictly in FIFO order; head-of-line blocking is
         # deliberate (matches a FIFO cluster allocator).
         while self._waiters and self._waiters[0][0] <= self.level:
-            need, grant = self._waiters.pop(0)
+            need, grant = self._waiters.popleft()
             self.level -= need
             grant.succeed(need)
 

@@ -7,8 +7,11 @@ Supports the operations PipeTune needs from its storage backend (§6):
 * window aggregation (mean/sum/min/max per fixed-width bucket),
 * JSON-lines persistence so ground-truth data survives across jobs.
 
-Points are kept per measurement in time order (bisect-inserted), so
-range queries are O(log n + k).
+Points are kept per measurement in time order. Writes are O(1)
+appends; a measurement that receives an out-of-order point is lazily
+re-sorted (stable, so equal-time points keep insertion order — the
+same order bisect insertion produced) on its next read, keeping range
+queries O(log n + k).
 """
 
 from __future__ import annotations
@@ -39,14 +42,27 @@ class TimeSeriesStore:
     def __init__(self):
         self._series: Dict[str, List[Point]] = defaultdict(list)
         self._times: Dict[str, List[float]] = defaultdict(list)
+        #: measurements holding out-of-order appends awaiting a re-sort.
+        self._unsorted: set = set()
 
     # -- writes -----------------------------------------------------------
     def write(self, point: Point) -> None:
-        """Insert one point, keeping the measurement time-ordered."""
+        """Append one point; in-order points (the overwhelmingly common
+        case — telemetry advances with the simulation clock) cost O(1),
+        out-of-order points defer the re-sort to the next read."""
         times = self._times[point.measurement]
-        index = bisect.bisect_right(times, point.time)
-        times.insert(index, point.time)
-        self._series[point.measurement].insert(index, point)
+        if times and point.time < times[-1]:
+            self._unsorted.add(point.measurement)
+        times.append(point.time)
+        self._series[point.measurement].append(point)
+
+    def _ensure_sorted(self, measurement: str) -> None:
+        if measurement not in self._unsorted:
+            return
+        points = self._series[measurement]
+        points.sort(key=lambda p: p.time)  # stable: keeps write order on ties
+        self._times[measurement] = [p.time for p in points]
+        self._unsorted.discard(measurement)
 
     def write_many(self, points: Iterable[Point]) -> int:
         count = 0
@@ -70,6 +86,7 @@ class TimeSeriesStore:
         end: Optional[float] = None,
     ) -> List[Point]:
         """Points of a measurement within ``[start, end)`` matching tags."""
+        self._ensure_sorted(measurement)
         points = self._series.get(measurement, [])
         times = self._times.get(measurement, [])
         lo = 0 if start is None else bisect.bisect_left(times, start)
@@ -136,6 +153,7 @@ class TimeSeriesStore:
         """Write every point as one JSON line; returns the point count."""
         count = 0
         for measurement in self.measurements():
+            self._ensure_sorted(measurement)
             for point in self._series[measurement]:
                 stream.write(
                     json.dumps(

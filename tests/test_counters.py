@@ -258,3 +258,43 @@ class TestProfiler:
     def test_overhead_factor_small(self):
         factor = EpochProfiler().overhead_factor()
         assert 1.0 < factor < 1.1
+
+
+class TestVectorizedFastPath:
+    """The vector kernel must reproduce the per-event reading path."""
+
+    def test_final_counts_matches_read_interval(self):
+        c = config()
+        pmu = Pmu()
+        fast = pmu.final_counts(c, 10.0, 4.0, epoch=3, noisy=True)
+        readings = pmu.read_interval(c, 10.0, 4.0, epoch=3, noisy=True)
+        from_readings = np.array([readings[e].final_count for e in EVENT_NAMES])
+        np.testing.assert_array_equal(fast, from_readings)
+
+    def test_final_counts_matches_read_interval_noise_free(self):
+        c = config()
+        pmu = Pmu()
+        fast = pmu.final_counts(c, 10.0, 4.0, epoch=3, noisy=False)
+        readings = pmu.read_interval(c, 10.0, 4.0, epoch=3, noisy=False)
+        from_readings = np.array([readings[e].final_count for e in EVENT_NAMES])
+        np.testing.assert_array_equal(fast, from_readings)
+
+    def test_final_counts_zero_duration_is_all_zero(self):
+        fast = Pmu().final_counts(config(), 0.0, 4.0, epoch=1)
+        np.testing.assert_array_equal(fast, np.zeros(NUM_EVENTS))
+
+    def test_signature_cache_returns_frozen_array(self):
+        a = workload_signature(LENET_MNIST)
+        assert a is workload_signature(LENET_MNIST)
+        with pytest.raises(ValueError):
+            a[0] = 1.0
+
+    def test_modifier_vector_matches_scalar_modifier(self):
+        from repro.counters.pmu import _event_modifier, _modifier_vector
+
+        starved = config(batch=1024, memory=4.0)
+        vector = _modifier_vector(starved)
+        scalars = np.array(
+            [_event_modifier(starved, e) for e in EVENT_NAMES]
+        )
+        np.testing.assert_array_equal(vector, scalars)

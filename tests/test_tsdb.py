@@ -169,3 +169,47 @@ class TestStore:
         mid = sorted(times)[len(times) // 2]
         windowed = [p.time for p in store.query("power", start=mid)]
         assert windowed == [t for t in sorted(times) if t >= mid]
+
+
+class TestLazySortFastPath:
+    """In-order appends are O(1); out-of-order writes re-sort lazily
+    without changing any query result."""
+
+    def test_mixed_order_writes_match_sorted_writes(self):
+        times = [0.0, 2.0, 4.0, 1.0, 8.0, 3.0, 3.0, 16.0, 0.5]
+        mixed = TimeSeriesStore()
+        for i, t in enumerate(times):
+            mixed.write(pt(time=t, value=float(i)))
+        ordered = TimeSeriesStore()
+        for i, t in sorted(enumerate(times), key=lambda it: it[1]):
+            ordered.write(pt(time=t, value=float(i)))
+        assert [
+            (p.time, p.fields["value"]) for p in mixed.query("power")
+        ] == [(p.time, p.fields["value"]) for p in ordered.query("power")]
+
+    def test_interleaved_writes_and_queries(self):
+        store = TimeSeriesStore()
+        store.write(pt(time=5.0, value=1.0))
+        store.write(pt(time=1.0, value=2.0))
+        assert [p.time for p in store.query("power")] == [1.0, 5.0]
+        # appends after a lazy re-sort stay on the fast path
+        store.write(pt(time=9.0, value=3.0))
+        assert [p.time for p in store.query("power")] == [1.0, 5.0, 9.0]
+        assert store.field_values("power", "value", start=2.0) == [1.0, 3.0]
+
+    def test_equal_times_keep_write_order(self):
+        store = TimeSeriesStore()
+        store.write(pt(time=2.0, value=1.0))
+        store.write(pt(time=1.0, value=2.0))  # out of order
+        store.write(pt(time=2.0, value=3.0))  # tie with first point
+        assert [p.fields["value"] for p in store.query("power")] == [2.0, 1.0, 3.0]
+
+    def test_dump_after_out_of_order_writes_is_sorted(self):
+        store = TimeSeriesStore()
+        for t in (4.0, 2.0, 6.0):
+            store.write(pt(time=t))
+        stream = io.StringIO()
+        store.dump(stream)
+        stream.seek(0)
+        reloaded = TimeSeriesStore.load_stream(stream)
+        assert [p.time for p in reloaded.query("power")] == [2.0, 4.0, 6.0]
