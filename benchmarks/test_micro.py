@@ -10,9 +10,11 @@ import numpy as np
 from repro.core.clustering import KMeans
 from repro.counters.pmu import Pmu
 from repro.counters.profiler import EpochProfiler
+from repro.simulation.cluster import NodeSpec, SimCluster
 from repro.simulation.des import Environment
 from repro.tsdb.point import Point
 from repro.tsdb.store import TimeSeriesStore
+from repro.tune.trainer import run_trial
 from repro.workloads.perfmodel import epoch_time
 from repro.workloads.registry import LENET_MNIST
 from repro.workloads.spec import HyperParams, SystemParams, TrialConfig
@@ -117,6 +119,50 @@ def test_tsdb_write_throughput(benchmark):
         return len(store)
 
     assert benchmark(run) == 2_000
+
+
+def test_trainer_runout(benchmark):
+    """A full 30-epoch trial with inert hooks: exercises allocation,
+    the coalesced run-out fast path and result synthesis end to end."""
+
+    def run():
+        env = Environment()
+        cluster = SimCluster(env, [NodeSpec(name="n0", cores=16, memory_gb=64.0)])
+        process = env.process(
+            run_trial(
+                env=env,
+                cluster=cluster,
+                trial_id="bench-runout",
+                workload=LENET_MNIST,
+                hyper=HyperParams(batch_size=64, epochs=30),
+                system=SystemParams(cores=8, memory_gb=16.0),
+            )
+        )
+        env.run()
+        return process.value.epochs_run
+
+    assert benchmark(run) == 30
+
+
+def test_tsdb_window_aggregation(benchmark):
+    """Mixed-aggregator windowing over a 20k-point column (columnar path)."""
+    store = TimeSeriesStore()
+    for t in range(20_000):
+        store.write(
+            Point(
+                measurement="m",
+                time=float(t),
+                fields={"v": float((t * 37) % 101)},
+            )
+        )
+
+    def run():
+        means = store.aggregate_windows("m", "v", window_s=30.0, agg="mean")
+        maxes = store.aggregate_windows("m", "v", window_s=45.0, agg="max")
+        sums = store.aggregate_windows("m", "v", window_s=120.0, agg="sum")
+        return len(means) + len(maxes) + len(sums)
+
+    assert benchmark(run) == 667 + 445 + 167
 
 
 def test_tsdb_window_query(benchmark):

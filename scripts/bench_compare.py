@@ -2,14 +2,28 @@
 """Run the substrate microbenchmarks and diff them against a baseline.
 
 Runs ``benchmarks/test_micro.py`` under pytest-benchmark, then compares
-each benchmark's mean time against ``benchmarks/micro_baseline.json``
-(committed). A regression beyond ``--threshold`` (ratio of current to
-baseline mean) fails the script, so slowdowns in the simulator
-substrate show up in review instead of silently accumulating.
+each benchmark's **median** time against ``benchmarks/micro_baseline.json``
+(committed). Medians are compared because shared CI runners produce
+heavy-tailed timing noise; means chase the tail.
+
+Gate policy (designed to be enforceable on shared runners):
+
+* a benchmark *regresses* when ``current_median / baseline_median``
+  exceeds ``--threshold`` (default 3.0x in CI);
+* the script fails only when at least ``--min-regressions`` (default 2)
+  benchmarks regress in the same run — a single outlier is jitter, a
+  sustained pattern across independent benchmarks is a real slowdown;
+* a benchmark that disappears from the suite without a baseline update
+  always fails (that is a suite defect, not jitter).
+
+Inside GitHub Actions the script emits workflow annotations for every
+regression/improvement and always writes a JSON report (``--json-out``)
+for the uploaded artifact, so the numbers survive even on green runs.
 
 Usage:
-    PYTHONPATH=src python scripts/bench_compare.py             # compare
-    PYTHONPATH=src python scripts/bench_compare.py --update    # rebaseline
+    PYTHONPATH=src python scripts/bench_compare.py               # compare
+    PYTHONPATH=src python scripts/bench_compare.py --update      # rebaseline
+    PYTHONPATH=src python scripts/bench_compare.py --json-out report.json
 """
 
 from __future__ import annotations
@@ -27,7 +41,7 @@ MICRO_SUITE = os.path.join(REPO_ROOT, "benchmarks", "test_micro.py")
 
 
 def run_benchmarks() -> dict:
-    """Run the micro suite, returning {benchmark_name: mean_seconds}."""
+    """Run the micro suite -> {name: {"mean": s, "median": s}}."""
     with tempfile.TemporaryDirectory() as tmp:
         json_path = os.path.join(tmp, "bench.json")
         env = dict(os.environ)
@@ -53,34 +67,42 @@ def run_benchmarks() -> dict:
             raise SystemExit("microbenchmark run failed")
         with open(json_path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
-    return {b["name"]: b["stats"]["mean"] for b in payload["benchmarks"]}
+    return {
+        b["name"]: {"mean": b["stats"]["mean"], "median": b["stats"]["median"]}
+        for b in payload["benchmarks"]
+    }
 
 
 def load_baseline() -> dict:
     with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
-        return json.load(handle)["means_s"]
+        payload = json.load(handle)
+    medians = payload.get("medians_s")
+    if medians is None:
+        # pre-median baseline format: fall back to means
+        medians = payload["means_s"]
+    return {"means_s": payload.get("means_s", {}), "medians_s": medians}
 
 
-def save_baseline(means: dict) -> None:
+def save_baseline(current: dict) -> None:
     payload = {
-        "note": "mean seconds per benchmarks/test_micro.py benchmark; "
-        "regenerate with scripts/bench_compare.py --update",
-        "means_s": {name: means[name] for name in sorted(means)},
+        "note": "per-benchmark seconds for benchmarks/test_micro.py; "
+        "medians gate CI (scripts/bench_compare.py), means are "
+        "informational; regenerate with scripts/bench_compare.py --update",
+        "means_s": {name: current[name]["mean"] for name in sorted(current)},
+        "medians_s": {name: current[name]["median"] for name in sorted(current)},
     }
     with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
 
 
-def format_row(name: str, base: float, cur: float, threshold: float) -> str:
-    ratio = cur / base if base > 0 else float("inf")
-    flag = "REGRESSION" if ratio > threshold else (
-        "improved" if ratio < 1 / 1.2 else ""
-    )
-    return f"{name:32s} {base * 1e6:12.1f} {cur * 1e6:12.1f} {ratio:8.2f}x  {flag}"
+def annotate(level: str, title: str, message: str) -> None:
+    """Emit a GitHub Actions annotation when running inside Actions."""
+    if os.environ.get("GITHUB_ACTIONS") == "true":
+        print(f"::{level} title={title}::{message}")
 
 
-if __name__ == "__main__":
+def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--update", action="store_true", help="rewrite the baseline from this run"
@@ -89,7 +111,19 @@ if __name__ == "__main__":
         "--threshold",
         type=float,
         default=1.5,
-        help="fail when current/baseline mean exceeds this ratio (default 1.5)",
+        help="per-benchmark regression ratio on medians (default 1.5)",
+    )
+    parser.add_argument(
+        "--min-regressions",
+        type=int,
+        default=1,
+        help="fail only when at least this many benchmarks regress "
+        "(CI uses 2 so single-benchmark jitter cannot break the build)",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        help="write the full comparison report to this JSON file",
     )
     args = parser.parse_args()
 
@@ -100,19 +134,107 @@ if __name__ == "__main__":
         raise SystemExit(0)
 
     baseline = load_baseline()
-    print(f"{'benchmark':32s} {'base (us)':>12s} {'now (us)':>12s} {'ratio':>9s}")
+    base_medians = baseline["medians_s"]
+
+    rows = {}
     regressions = []
-    for name in sorted(set(baseline) | set(current)):
-        if name not in baseline:
-            print(f"{name:32s} {'new':>12s} {current[name] * 1e6:12.1f}")
+    missing = []
+    for name in sorted(set(base_medians) | set(current)):
+        if name not in base_medians:
+            rows[name] = {
+                "status": "new",
+                "current_median_s": current[name]["median"],
+                "current_mean_s": current[name]["mean"],
+            }
             continue
         if name not in current:
-            print(f"{name:32s} {baseline[name] * 1e6:12.1f} {'missing':>12s}")
-            regressions.append(name)
+            rows[name] = {"status": "missing", "baseline_median_s": base_medians[name]}
+            missing.append(name)
             continue
-        print(format_row(name, baseline[name], current[name], args.threshold))
-        if current[name] / baseline[name] > args.threshold:
+        ratio = (
+            current[name]["median"] / base_medians[name]
+            if base_medians[name] > 0
+            else float("inf")
+        )
+        status = "ok"
+        if ratio > args.threshold:
+            status = "regression"
             regressions.append(name)
+        elif ratio < 1 / 1.2:
+            status = "improved"
+        rows[name] = {
+            "status": status,
+            "baseline_median_s": base_medians[name],
+            "current_median_s": current[name]["median"],
+            "current_mean_s": current[name]["mean"],
+            "ratio": ratio,
+        }
+
+    header = f"{'benchmark':34s} {'base med (us)':>14s} {'now med (us)':>13s} {'ratio':>8s}"
+    print(header)
+    for name, row in rows.items():
+        if row["status"] == "new":
+            print(f"{name:34s} {'new':>14s} {row['current_median_s'] * 1e6:13.1f}")
+            continue
+        if row["status"] == "missing":
+            print(f"{name:34s} {row['baseline_median_s'] * 1e6:14.1f} {'missing':>13s}")
+            annotate(
+                "error",
+                "benchmark missing",
+                f"{name} is in micro_baseline.json but was not run; "
+                "update the baseline if it was removed on purpose",
+            )
+            continue
+        flag = {"regression": "REGRESSION", "improved": "improved"}.get(
+            row["status"], ""
+        )
+        print(
+            f"{name:34s} {row['baseline_median_s'] * 1e6:14.1f} "
+            f"{row['current_median_s'] * 1e6:13.1f} {row['ratio']:7.2f}x  {flag}"
+        )
+        if row["status"] == "regression":
+            annotate(
+                "warning",
+                "benchmark regression",
+                f"{name}: median {row['ratio']:.2f}x baseline "
+                f"(threshold {args.threshold}x)",
+            )
+
+    sustained = len(regressions) >= args.min_regressions
+    verdict = {
+        "threshold": args.threshold,
+        "min_regressions": args.min_regressions,
+        "regressions": regressions,
+        "missing": missing,
+        "failed": bool(missing) or sustained,
+    }
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump({"policy": verdict, "benchmarks": rows}, handle, indent=2)
+            handle.write("\n")
+        print(f"report written: {args.json_out}")
+
+    if missing:
+        raise SystemExit(f"benchmarks missing from the run: {missing}")
+    if sustained:
+        annotate(
+            "error",
+            "sustained benchmark regression",
+            f"{len(regressions)} benchmarks beyond {args.threshold}x: "
+            f"{', '.join(regressions)}",
+        )
+        raise SystemExit(
+            f"sustained regression: {len(regressions)} benchmarks beyond "
+            f"{args.threshold}x ({regressions})"
+        )
     if regressions:
-        raise SystemExit(f"regressions beyond {args.threshold}x: {regressions}")
-    print("no regressions beyond threshold")
+        print(
+            f"{len(regressions)} benchmark(s) beyond {args.threshold}x — below "
+            f"the sustained-regression bar ({args.min_regressions}), not failing"
+        )
+    else:
+        print("no regressions beyond threshold")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,26 @@ self-contained): a :class:`Process` wraps a generator that *yields*
 of scheduled events and resumes processes when the events they wait on
 fire.
 
+Scheduling internals
+--------------------
+Events fire in ``(time, counter)`` order, where ``counter`` is a
+global creation counter (FIFO among equal-time events). Two structures
+back that ordering:
+
+* a binary heap for events scheduled with a positive delay, and
+* an *immediate* deque for zero-delay work: events triggered at the
+  current instant and deferred process resumptions. Entries carry the
+  same counters the heap would have used, and the deque is drained in
+  counter order interleaved with equal-time heap entries, so the
+  observable ordering is identical to an all-heap implementation —
+  zero-delay events just skip the O(log n) heap round-trip.
+
+A process that yields an *already processed* event is resumed through
+an immediate-deque entry referencing that event directly, instead of
+allocating a proxy :class:`Event` (the historical implementation); the
+resume is still deferred behind already-queued same-time events, which
+keeps seed-for-seed reproducibility.
+
 Example
 -------
 >>> env = Environment()
@@ -27,8 +47,8 @@ Example
 from __future__ import annotations
 
 import heapq
-import itertools
 from collections import deque
+from functools import partial
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 
@@ -55,11 +75,25 @@ class Event:
     optional value) or with an exception. Callbacks registered before
     the trigger run when the environment processes the event; callbacks
     added afterwards run immediately.
+
+    ``callbacks`` is stored compactly: ``None`` (no subscribers — or
+    already processed, see ``_processed``), a single callable (the
+    overwhelmingly common one-waiter case, no list allocation), or a
+    list once a second subscriber appears.
     """
+
+    __slots__ = (
+        "env",
+        "callbacks",
+        "_value",
+        "_exception",
+        "_triggered",
+        "_processed",
+    )
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self.callbacks: Any = None
         self._value: Any = None
         self._exception: Optional[BaseException] = None
         self._triggered = False
@@ -112,29 +146,89 @@ class Event:
 
     def _run_callbacks(self) -> None:
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, None
-        for callback in callbacks or ():
-            callback(self)
+        callbacks = self.callbacks
+        self.callbacks = None
+        if callbacks is not None:
+            if callbacks.__class__ is list:
+                for callback in callbacks:
+                    callback(self)
+            else:
+                callbacks(self)
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Register ``callback``; runs immediately if already processed."""
-        if self.callbacks is None:
+        if self._processed:
             callback(self)
+            return
+        callbacks = self.callbacks
+        if callbacks is None:
+            self.callbacks = callback
+        elif callbacks.__class__ is list:
+            callbacks.append(callback)
         else:
-            self.callbacks.append(callback)
+            self.callbacks = [callbacks, callback]
 
 
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
+        # Flattened Event.__init__ + Environment._schedule: timeouts are
+        # the hot allocation of every simulated trial, and the chained
+        # calls cost more than the work itself. ``env`` is deliberately
+        # not stored: a timeout is pre-triggered and never re-scheduled,
+        # so nothing reads it back.
+        # KEEP IN SYNC with _bind_timeout below — env.timeout() runs
+        # that one-frame closure copy of this body, not this method.
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._triggered = True
+        self.callbacks = None
         self._value = value
-        env._schedule(self, delay=delay)
+        self._exception = None
+        self._triggered = True
+        self._processed = False
+        seq = env._seq
+        env._seq = seq + 1
+        if delay:
+            heapq.heappush(env._queue, (env._now + delay, seq, self))
+        else:
+            env._immediate.append([seq, self, None])
+
+
+def _bind_timeout(env: "Environment") -> Callable[..., Timeout]:
+    """A one-frame ``env.timeout`` constructor.
+
+    Mirrors :meth:`Timeout.__init__` exactly (kept as the canonical
+    spelling) but builds the object via ``__new__`` in a closure over
+    the environment's queues, skipping the chained type call — the
+    single hottest allocation site of every simulated trial.
+    """
+    new = Timeout.__new__
+    cls = Timeout
+    queue = env._queue
+    immediate = env._immediate
+    push = heapq.heappush
+
+    def timeout(delay: float, value: Any = None) -> Timeout:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        t = new(cls)
+        t.callbacks = None
+        t._value = value
+        t._exception = None
+        t._triggered = True
+        t._processed = False
+        seq = env._seq
+        env._seq = seq + 1
+        if delay:
+            push(queue, (env._now + delay, seq, t))
+        else:
+            immediate.append([seq, t, None])
+        return t
+
+    return timeout
 
 
 class Process(Event):
@@ -145,16 +239,31 @@ class Process(Event):
     exception is thrown into the generator).
     """
 
+    __slots__ = (
+        "_generator",
+        "_send",
+        "_throw",
+        "_target",
+        "_deferred_entry",
+        "_resume",
+    )
+
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "send"):
             raise TypeError("process requires a generator")
         super().__init__(env)
         self._generator = generator
+        self._send = generator.send
+        self._throw = generator.throw
         self._target: Optional[Event] = None
-        # Bootstrap: resume the process at the current time.
-        init = Event(env)
-        init.add_callback(self._resume)
-        init.succeed()
+        # One bound method for the whole lifetime: every yield would
+        # otherwise allocate a fresh bound-method object to register.
+        self._resume = self._resume_impl
+        # Bootstrap: resume the process at the current time, behind
+        # already-queued same-time events. The shared _BOOTSTRAP event
+        # (value None, no exception) makes the first resume take the
+        # ordinary send() path with no special-casing.
+        self._deferred_entry: Optional[list] = env._defer_resume(_BOOTSTRAP, self)
 
     @property
     def is_alive(self) -> bool:
@@ -169,53 +278,96 @@ class Process(Event):
         """
         if self._triggered:
             raise SimulationError("cannot interrupt a finished process")
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
-            self._target = None
+        self._detach_wait()
         interrupt_event = Event(self.env)
-        interrupt_event.add_callback(self._resume)
+        interrupt_event.add_callback(self._on_interrupt)
         interrupt_event.fail(Interrupt(cause))
 
-    def _resume(self, event: Event) -> None:
-        self._target = None
-        self.env._active_process = self
+    def _detach_wait(self) -> None:
+        """Disconnect the process from whatever it is waiting on."""
+        entry = self._deferred_entry
+        if entry is not None and entry[1] is not None and entry[1] is not _BOOTSTRAP:
+            # Pending deferred resume on an already-processed event:
+            # cancel it (the bootstrap entry stays — the process first
+            # advances to its initial yield, as before).
+            entry[1] = entry[2] = None
+            self._deferred_entry = None
+            self._target = None
+        elif self._target is not None and not self._target._processed:
+            callbacks = self._target.callbacks
+            if callbacks is self._resume:
+                self._target.callbacks = None
+            elif callbacks.__class__ is list:
+                try:
+                    callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            self._target = None
+
+    def _on_interrupt(self, event: Event) -> None:
+        """Deliver a queued interrupt.
+
+        Between :meth:`interrupt` and delivery the process may have run
+        (bootstrap, deferred resume, an equal-time event) and acquired
+        a new wait target — detach again at delivery time so the stale
+        subscription cannot resume the generator twice later. A process
+        that managed to finish in between is left alone.
+        """
+        if self._triggered:
+            return
+        self._detach_wait()
+        self._resume(event)
+
+    def _resume_impl(self, event: Event) -> None:
         try:
-            if event._exception is not None:
-                next_event = self._generator.throw(event._exception)
+            if event._exception is None:
+                next_event = self._send(event._value)
             else:
-                next_event = self._generator.send(
-                    event._value if event is not None else None
-                )
+                next_event = self._throw(event._exception)
         except StopIteration as stop:
-            self.env._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as error:  # noqa: BLE001 - fail the process event
             # The process body raised (including unhandled Interrupt):
             # the process event fails and waiters receive the exception.
-            self.env._active_process = None
             self.fail(error)
             return
-        self.env._active_process = None
-        if not isinstance(next_event, Event):
+        try:
+            processed = next_event._processed
+        except AttributeError:
             raise SimulationError(
                 f"process yielded non-event {next_event!r}"
-            )
-        if next_event.callbacks is None:
-            # Already processed: resume immediately via a proxy event.
-            proxy = Event(self.env)
-            proxy._value = next_event._value
-            proxy._exception = next_event._exception
-            proxy._triggered = True
-            proxy.add_callback(self._resume)
-            self.env._schedule(proxy)
-            self._target = proxy
+            ) from None
+        self._target = next_event
+        if processed:
+            # Already processed: defer the resume behind same-time
+            # events already in the queue — no proxy Event, no heap.
+            self._deferred_entry = self.env._defer_resume(next_event, self)
         else:
-            next_event.add_callback(self._resume)
-            self._target = next_event
+            callbacks = next_event.callbacks
+            if callbacks is None:
+                next_event.callbacks = self._resume
+            elif callbacks.__class__ is list:
+                callbacks.append(self._resume)
+            else:
+                next_event.callbacks = [callbacks, self._resume]
+
+
+class _Bootstrap(Event):
+    """Shared pre-triggered pseudo-event used to start every process."""
+
+    __slots__ = ()
+
+    def __init__(self):  # no Environment: never scheduled
+        self.env = None
+        self.callbacks = None
+        self._value = None
+        self._exception = None
+        self._triggered = True
+        self._processed = True
+
+
+_BOOTSTRAP = _Bootstrap()
 
 
 class Condition(Event):
@@ -225,6 +377,8 @@ class Condition(Event):
     ran) — not merely triggered, since e.g. a Timeout is triggered at
     construction but fires later.
     """
+
+    __slots__ = ("_events",)
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -253,6 +407,8 @@ class Condition(Event):
 class AllOf(Condition):
     """Fires once every child event has fired; value maps index->value."""
 
+    __slots__ = ()
+
     def _check_initial(self) -> None:
         if not self._triggered and all(e.processed for e in self._events):
             self.succeed(self._collect())
@@ -270,6 +426,8 @@ class AllOf(Condition):
 class AnyOf(Condition):
     """Fires as soon as any child event fires."""
 
+    __slots__ = ()
+
     def _check_initial(self) -> None:
         if not self._triggered and any(e.processed for e in self._events):
             self.succeed(self._collect())
@@ -284,32 +442,56 @@ class AnyOf(Condition):
 
 
 class Environment:
-    """Owner of the virtual clock and the pending-event queue."""
+    """Owner of the virtual clock and the pending-event queue.
+
+    Delayed events live on a binary heap keyed ``(time, counter)``;
+    zero-delay events and deferred process resumptions live on the
+    *immediate* deque, whose entries are ``[counter, event, process]``:
+
+    * ``process is None``  -> run ``event``'s callbacks;
+    * ``process`` set      -> resume it from ``event`` (the shared
+      ``_BOOTSTRAP`` sentinel starts a new process with ``send(None)``
+      — the event slot is never ``None`` on a live resume entry);
+    * event and process ``None`` -> cancelled (an interrupt detached it).
+
+    Immediate entries are created at the current instant and are always
+    drained before the clock advances, in counter order interleaved
+    with equal-time heap entries — byte-for-byte the ordering an
+    all-heap implementation produces.
+    """
+
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_immediate",
+        "_seq",
+        "event",
+        "timeout",
+        "process",
+    )
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List = []
-        self._counter = itertools.count()
-        self._active_process: Optional[Process] = None
+        self._immediate: deque = deque()
+        #: event sequence counter (FIFO tiebreak among equal times)
+        self._seq = 0
+        # C-level constructor bindings shadow the factory methods below:
+        # event/timeout/process creation is the simulator's hottest
+        # allocation path and the extra method frame is measurable.
+        self.event = partial(Event, self)
+        self.timeout = _bind_timeout(self)
+        self.process = partial(Process, self)
 
     @property
     def now(self) -> float:
         """Current simulation time."""
         return self._now
 
-    @property
-    def active_process(self) -> Optional[Process]:
-        return self._active_process
-
     # -- event factories ---------------------------------------------------
-    def event(self) -> Event:
-        return Event(self)
-
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
-
-    def process(self, generator: Generator) -> Process:
-        return Process(self, generator)
+    # event(), timeout(delay, value=None) and process(generator) are
+    # bound as partials in __init__ (see above); they construct Event,
+    # Timeout and Process respectively.
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -319,15 +501,83 @@ class Environment:
 
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(
-            self._queue, (self._now + delay, next(self._counter), event)
-        )
+        seq = self._seq
+        self._seq = seq + 1
+        if delay:
+            heapq.heappush(self._queue, (self._now + delay, seq, event))
+        else:
+            self._immediate.append([seq, event, None])
+
+    def _schedule_at(self, event: Event, when: float) -> None:
+        """Schedule at an absolute time (>= now). Internal: lets a
+        caller land the clock on an exact precomputed instant instead
+        of re-rounding through ``now + delay``."""
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (when, seq, event))
+
+    def _unschedule(self, event: Event) -> bool:
+        """Remove a delayed event from the heap (rare path, O(n)).
+
+        Used when a coalesced sleep is abandoned mid-way: the clock
+        must not drain past times no live event cares about.
+        """
+        queue = self._queue
+        for index, item in enumerate(queue):
+            if item[2] is event:
+                last = queue.pop()
+                if index < len(queue):
+                    queue[index] = last
+                    heapq.heapify(queue)
+                return True
+        return False
+
+    def _defer_resume(self, event: Event, process: "Process") -> list:
+        """Queue a process resumption at the current instant.
+
+        ``event`` must be a processed event (or the ``_BOOTSTRAP``
+        sentinel); its value/exception is delivered when the entry is
+        drained.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [seq, event, process]
+        self._immediate.append(entry)
+        return entry
+
+    def _next_immediate(self) -> Optional[list]:
+        """Head of the immediate deque, dropping cancelled entries."""
+        immediate = self._immediate
+        while immediate:
+            head = immediate[0]
+            if head[1] is None and head[2] is None:
+                immediate.popleft()
+                continue
+            return head
+        return None
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
-        if not self._queue:
+        head = self._next_immediate()
+        queue = self._queue
+        if head is not None and (
+            not queue or queue[0][0] > self._now or queue[0][1] > head[0]
+        ):
+            self._immediate.popleft()
+            _seq, event, process = head
+            if process is not None:
+                # Null the entry: a stale ``_deferred_entry`` reference
+                # on the process must read as consumed to interrupt().
+                head[1] = head[2] = None
+                process._resume(event)
+            else:
+                event._run_callbacks()
+            return
+        if not queue:
             raise SimulationError("step() on empty event queue")
-        when, _seq, event = heapq.heappop(self._queue)
+        when, _seq, event = heapq.heappop(queue)
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
@@ -335,18 +585,72 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._next_immediate() is not None:
+            return self._now
         return self._queue[0][0] if self._queue else float("inf")
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or the clock reaches ``until``."""
         if until is not None and until < self._now:
             raise ValueError("run(until) lies in the past")
-        while self._queue:
-            if until is not None and self.peek() > until:
+        queue = self._queue
+        immediate = self._immediate
+        pop = heapq.heappop
+        bounded = until is not None
+        while True:
+            if immediate:
+                head = immediate[0]
+                if head[1] is None and head[2] is None:
+                    immediate.popleft()
+                    continue
+                # Equal-time heap entries with lower counters go first.
+                if not (queue and queue[0][0] <= self._now and queue[0][1] < head[0]):
+                    immediate.popleft()
+                    _seq, event, process = head
+                    if process is not None:
+                        # Null the entry: a stale ``_deferred_entry``
+                        # reference must read as consumed to interrupt().
+                        head[1] = head[2] = None
+                        process._resume(event)
+                    else:
+                        event._run_callbacks()
+                    continue
+            if not queue:
+                break
+            if bounded and queue[0][0] > until:
                 self._now = until
                 return
-            self.step()
-        if until is not None:
+            when, _seq, event = pop(queue)
+            self._now = when
+            # Inlined Event._run_callbacks — one frame per event saved.
+            event._processed = True
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks is not None:
+                if callbacks.__class__ is list:
+                    for callback in callbacks:
+                        callback(event)
+                else:
+                    callbacks(event)
+            if bounded or immediate:
+                continue
+            # Unbounded pure-heap stretch: tightest loop, no immediate
+            # entries pending and no until check needed.
+            while queue:
+                when, _seq, event = pop(queue)
+                self._now = when
+                event._processed = True
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks is not None:
+                    if callbacks.__class__ is list:
+                        for callback in callbacks:
+                            callback(event)
+                    else:
+                        callbacks(event)
+                if immediate:
+                    break
+        if bounded:
             self._now = until
 
 

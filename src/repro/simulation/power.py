@@ -126,6 +126,10 @@ class PduSampler:
         self.samples: List[PowerSample] = []
         self._rng = np.random.default_rng(seed)
         self._running = False
+        # The sampler polls node.power_watts without a listener; flag
+        # the nodes so the trainer keeps per-epoch power transitions.
+        for node in cluster.nodes:
+            node.watch_power()
 
     def _read(self) -> float:
         watts = sum(n.power_watts for n in self.cluster.nodes)

@@ -12,6 +12,17 @@ appends; a measurement that receives an out-of-order point is lazily
 re-sorted (stable, so equal-time points keep insertion order — the
 same order bisect insertion produced) on its next read, keeping range
 queries O(log n + k).
+
+Field queries (:meth:`~TimeSeriesStore.field_values` and
+:meth:`~TimeSeriesStore.aggregate_windows` without a tag filter) are
+served from a lazily built *columnar cache*: per (measurement, field),
+a numpy time column plus the field's values extracted once, in time
+order. Writes invalidate the measurement's columns. Window bucketing
+runs vectorised over the time column; the aggregation itself applies
+the exact same aggregator callables to the exact same value objects in
+the same order as the point-by-point path, so results are
+bit-identical (numpy's pairwise ``add.reduce`` is deliberately NOT
+used for sums — it rounds differently from Python's sequential sum).
 """
 
 from __future__ import annotations
@@ -21,7 +32,9 @@ import io
 import json
 import os
 from collections import defaultdict
-from typing import Callable, Dict, Iterable, List, Mapping, Optional
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 from .point import Point
 
@@ -44,17 +57,23 @@ class TimeSeriesStore:
         self._times: Dict[str, List[float]] = defaultdict(list)
         #: measurements holding out-of-order appends awaiting a re-sort.
         self._unsorted: set = set()
+        #: per-measurement columnar cache: {field: (time_array, values)}
+        #: built lazily on first field query, dropped on write.
+        self._columns: Dict[str, Dict[str, Tuple[np.ndarray, list]]] = {}
 
     # -- writes -----------------------------------------------------------
     def write(self, point: Point) -> None:
         """Append one point; in-order points (the overwhelmingly common
         case — telemetry advances with the simulation clock) cost O(1),
         out-of-order points defer the re-sort to the next read."""
-        times = self._times[point.measurement]
+        measurement = point.measurement
+        times = self._times[measurement]
         if times and point.time < times[-1]:
-            self._unsorted.add(point.measurement)
+            self._unsorted.add(measurement)
         times.append(point.time)
-        self._series[point.measurement].append(point)
+        self._series[measurement].append(point)
+        if measurement in self._columns:
+            del self._columns[measurement]
 
     def _ensure_sorted(self, measurement: str) -> None:
         if measurement not in self._unsorted:
@@ -63,6 +82,33 @@ class TimeSeriesStore:
         points.sort(key=lambda p: p.time)  # stable: keeps write order on ties
         self._times[measurement] = [p.time for p in points]
         self._unsorted.discard(measurement)
+        # a resort is always preceded by a write (which already dropped
+        # the column cache) — popping again is just defensive.
+        self._columns.pop(measurement, None)
+
+    def _column(self, measurement: str, field: str) -> Tuple[np.ndarray, list]:
+        """The (time array, value list) column of one field, cached.
+
+        Values are the original field objects (ints stay ints), in time
+        order, restricted to points that carry the field — so any
+        consumer applying the same operations to them gets results
+        bit-identical to iterating the points directly.
+        """
+        cols = self._columns.get(measurement)
+        if cols is None:
+            cols = self._columns[measurement] = {}
+        col = cols.get(field)
+        if col is None:
+            self._ensure_sorted(measurement)
+            times: List[float] = []
+            values: list = []
+            for p in self._series.get(measurement, ()):
+                v = p.fields.get(field)
+                if v is not None:
+                    times.append(p.time)
+                    values.append(v)
+            col = cols[field] = (np.asarray(times, dtype=np.float64), values)
+        return col
 
     def write_many(self, points: Iterable[Point]) -> int:
         count = 0
@@ -105,11 +151,20 @@ class TimeSeriesStore:
         end: Optional[float] = None,
     ) -> List[float]:
         """The values of one field over a query window, in time order."""
-        return [
-            p.fields[field]
-            for p in self.query(measurement, tags=tags, start=start, end=end)
-            if field in p.fields
-        ]
+        if tags:
+            return [
+                p.fields[field]
+                for p in self.query(measurement, tags=tags, start=start, end=end)
+                if field in p.fields
+            ]
+        times, values = self._column(measurement, field)
+        lo = 0 if start is None else int(np.searchsorted(times, start, side="left"))
+        hi = (
+            len(values)
+            if end is None
+            else int(np.searchsorted(times, end, side="left"))
+        )
+        return values[lo:hi]
 
     def aggregate_windows(
         self,
@@ -134,18 +189,55 @@ class TimeSeriesStore:
             raise ValueError(
                 f"unknown aggregator {agg!r}; choose from {sorted(_AGGREGATORS)}"
             ) from None
-        points = self.query(measurement, tags=tags, start=start, end=end)
-        if not points:
+        if tags:
+            points = self.query(measurement, tags=tags, start=start, end=end)
+            if not points:
+                return []
+            origin = start if start is not None else points[0].time
+            buckets: Dict[int, List[float]] = defaultdict(list)
+            for p in points:
+                if field not in p.fields:
+                    continue
+                buckets[int((p.time - origin) // window_s)].append(p.fields[field])
+            return [
+                (origin + index * window_s, aggregator(values))
+                for index, values in sorted(buckets.items())
+            ]
+        # Columnar fast path: bucket indices and segment boundaries are
+        # computed vectorised over the cached time column; each bucket
+        # then applies the aggregator to a slice of the original value
+        # objects — the identical computation, minus the Python loop
+        # over points.  The bucket origin comes from the measurement's
+        # full point list (a point without this field still anchors the
+        # grid), exactly as the point-by-point path behaves.
+        self._ensure_sorted(measurement)
+        all_times = self._times.get(measurement, [])
+        lo_all = 0 if start is None else bisect.bisect_left(all_times, start)
+        hi_all = (
+            len(all_times) if end is None else bisect.bisect_left(all_times, end)
+        )
+        if hi_all <= lo_all:
             return []
-        origin = start if start is not None else points[0].time
-        buckets: Dict[int, List[float]] = defaultdict(list)
-        for p in points:
-            if field not in p.fields:
-                continue
-            buckets[int((p.time - origin) // window_s)].append(p.fields[field])
+        origin = start if start is not None else all_times[lo_all]
+        times, values = self._column(measurement, field)
+        lo = 0 if start is None else int(np.searchsorted(times, start, side="left"))
+        hi = (
+            len(values)
+            if end is None
+            else int(np.searchsorted(times, end, side="left"))
+        )
+        if hi <= lo:
+            return []
+        # float64 ops below match the scalar expressions of the slow
+        # path bit for bit (verified: floor_divide == Python // here).
+        indices = np.floor_divide(times[lo:hi] - origin, window_s).astype(np.int64)
+        boundaries = (np.flatnonzero(indices[1:] != indices[:-1]) + 1).tolist()
+        seg_starts = [0, *boundaries]
+        seg_ends = [*boundaries, len(indices)]
+        bucket_ids = indices[np.asarray(seg_starts)].tolist()
         return [
-            (origin + index * window_s, aggregator(values))
-            for index, values in sorted(buckets.items())
+            (origin + index * window_s, aggregator(values[lo + s : lo + e]))
+            for index, s, e in zip(bucket_ids, seg_starts, seg_ends)
         ]
 
     # -- persistence ---------------------------------------------------------

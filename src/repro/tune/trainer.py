@@ -20,7 +20,7 @@ from typing import Generator, Optional
 
 from ..counters.profiler import EpochProfiler
 from ..simulation.cluster import Allocation, SimCluster
-from ..simulation.des import Environment
+from ..simulation.des import Environment, Event, SimulationError
 from ..workloads.accuracy import accuracy_at_epoch
 from ..workloads.perfmodel import active_cores, epoch_cost, working_set_gb
 from .errors import TrialOutOfMemory
@@ -87,6 +87,22 @@ class TrialHooks:
 
     def after_epoch(self, ctx: TrialContext, record: EpochRecord) -> None:
         """Called with the finished epoch's record."""
+
+    def runout_inert(self, ctx: TrialContext, epoch: int) -> bool:
+        """Whether the hooks promise to stay passive from ``epoch`` on.
+
+        Returning True is a contract covering every remaining epoch up
+        to ``ctx.target_epochs``: :meth:`before_epoch` returns ``None``
+        (or the unchanged current system), :meth:`wants_profiling` is
+        False, :meth:`epoch_extra_delay_s` is zero, and no hook method
+        reads the simulation clock or performs time-stamped side
+        effects. The trainer may then coalesce the remaining epochs
+        into a single simulated sleep and invoke the per-epoch hooks
+        afterwards, with arguments and records identical to per-epoch
+        stepping. The default hooks are trivially inert; subclasses
+        must opt in explicitly.
+        """
+        return type(self) is TrialHooks
 
     def on_end(self, ctx: TrialContext, result: TrialResult) -> None:
         """Called after the allocation is released."""
@@ -180,8 +196,141 @@ def run_trial(
     total_time = 0.0
     total_energy = 0.0
     accuracy = 0.0
+
+    def replay_epoch(k: int, duration: float, busy: float) -> None:
+        """Re-run epoch ``k``'s hook calls and accounting after a
+        coalesced sleep, exactly as per-epoch stepping would have.
+
+        Inert hooks are clock-independent by contract, so invoking them
+        once simulated time has already passed produces identical hook
+        state, records and accumulators; the contract is still verified
+        cheaply so a misdeclared hook fails loudly instead of silently
+        desynchronising the trial.
+        """
+        nonlocal total_time, total_energy, accuracy
+        desired = hooks.before_epoch(ctx, k)
+        if desired is not None and desired != ctx.system:
+            raise SimulationError(
+                f"hooks declared run-out inert but requested a reshape "
+                f"at epoch {k}"
+            )
+        if hooks.wants_profiling(ctx, k) or hooks.epoch_extra_delay_s(ctx, k) > 0:
+            raise SimulationError(
+                f"hooks declared run-out inert but were active at epoch {k}"
+            )
+        accuracy = accuracy_at_epoch(
+            workload, hyper, k, trial_seed=trial_seed, noisy=noisy
+        )
+        energy = trial_energy_j(workload, ctx.system, allocation, busy, duration)
+        total_time += duration
+        total_energy += energy
+        record = EpochRecord(
+            epoch=k,
+            duration_s=duration,
+            accuracy=accuracy,
+            system=ctx.system,
+            energy_j=energy,
+            profiled=False,
+            probed=hooks.is_probe_epoch(ctx, k),
+            profile=None,
+        )
+        ctx.records.append(record)
+        hooks.after_epoch(ctx, record)
+
     try:
-        for epoch in range(start_epoch + 1, epochs + 1):
+        epoch = start_epoch + 1
+        while epoch <= epochs:
+            if (
+                epochs - epoch >= 1
+                and hooks.runout_inert(ctx, epoch)
+                and not allocation.node.power_observed
+                and (
+                    oom_threshold is None
+                    or working_set_gb(workload, hyper)
+                    <= oom_threshold * ctx.system.memory_gb
+                )
+            ):
+                # ---- coalesced run-out -------------------------------
+                # No reconfiguration, profiling, probing or failure can
+                # occur for the remaining epochs and nothing observes
+                # the node's power signal: replace the per-epoch
+                # timeouts with ONE sleep to the trial's end and
+                # synthesize the per-epoch records analytically. Event
+                # count drops from 2/epoch to O(1) per trial segment.
+                # Two documented edges: (a) the sleep's FIFO counter is
+                # drawn at window start, so an unrelated event landing
+                # at the trial's exact end instant (float equality, not
+                # observed in any seeded exhibit) may tie-break the
+                # other way than per-epoch stepping; (b) the
+                # power_observed gate is sampled here — observers must
+                # attach before trials run (see Node.add_power_listener).
+                config = ctx.config
+                costs = [
+                    epoch_cost(config, epoch=k, contention=contention, noisy=noisy)
+                    for k in range(epoch, epochs + 1)
+                ]
+                durations = [c.total_s for c in costs]
+                busys = [active_cores(config, c) for c in costs]
+                # Epoch-end instants accumulated exactly as successive
+                # timeouts would have advanced the clock (same float
+                # rounding), then scheduled at the absolute end time.
+                ends = []
+                t_cursor = env.now
+                for d in durations:
+                    t_cursor += d
+                    ends.append(t_cursor)
+                node = allocation.node
+                node.notify_busy(busys[0])
+                sleep = Event(env)
+                sleep._triggered = True
+                env._schedule_at(sleep, ends[-1])
+                try:
+                    yield sleep
+                except BaseException:
+                    # Interrupted mid-window: reconstruct the exact
+                    # per-epoch state at the interrupt instant.
+                    env._unschedule(sleep)
+                    completed = 0
+                    while completed < len(ends) and ends[completed] <= env.now:
+                        completed += 1
+                    for index in range(completed):
+                        replay_epoch(
+                            epoch + index, durations[index], busys[index]
+                        )
+                    if completed < len(durations):
+                        # Per-epoch stepping would have entered the next
+                        # epoch: its before-hooks ran, its busy-core
+                        # level was applied, and its (now orphaned)
+                        # timeout was pending when the interrupt hit —
+                        # plant an equivalent dead event so a draining
+                        # run() advances the clock identically.
+                        k = epoch + completed
+                        desired = hooks.before_epoch(ctx, k)
+                        if desired is not None and desired != ctx.system:
+                            raise SimulationError(
+                                "hooks declared run-out inert but "
+                                f"requested a reshape at epoch {k}"
+                            )
+                        if (
+                            hooks.wants_profiling(ctx, k)
+                            or hooks.epoch_extra_delay_s(ctx, k) > 0
+                        ):
+                            raise SimulationError(
+                                "hooks declared run-out inert but were "
+                                f"active at epoch {k}"
+                            )
+                        node.notify_busy(busys[completed] - busys[0])
+                        orphan = Event(env)
+                        orphan._triggered = True
+                        env._schedule_at(orphan, ends[completed])
+                    else:
+                        node.notify_busy(-busys[0])
+                    raise
+                for index, k in enumerate(range(epoch, epochs + 1)):
+                    replay_epoch(k, durations[index], busys[index])
+                node.notify_busy(-busys[0])
+                break
+
             desired = hooks.before_epoch(ctx, epoch)
             if desired is not None and desired != ctx.system:
                 # Best-effort reshape: a grow the node cannot satisfy
@@ -244,6 +393,7 @@ def run_trial(
             )
             ctx.records.append(record)
             hooks.after_epoch(ctx, record)
+            epoch += 1
     finally:
         allocation.release()
 

@@ -31,7 +31,7 @@ def stable_seed(*parts) -> int:
     digest instead — rerunning any experiment reproduces identical
     numbers (DESIGN.md §5).
     """
-    key = tuple(repr(p) for p in parts)
+    key = tuple(map(repr, parts))
     seed = _SEED_CACHE.get(key)
     if seed is None:
         digest = hashlib.sha256("\x1f".join(key).encode("utf-8")).digest()
@@ -42,11 +42,35 @@ def stable_seed(*parts) -> int:
     return seed
 
 
+def _cache_repr(cls):
+    """Memoize a frozen dataclass's generated ``repr`` per instance.
+
+    Every RNG derivation builds its :func:`stable_seed` key from the
+    reprs of the participating spec objects, which makes dataclass repr
+    construction a measurable share of simulated-epoch cost. The
+    instances are immutable, so the exact generated string (same bytes,
+    hence same digests and random streams) is computed once and cached.
+    """
+    generated = cls.__repr__
+
+    def __repr__(self) -> str:
+        cached = self.__dict__.get("_cached_repr")
+        if cached is None:
+            cached = generated(self)
+            object.__setattr__(self, "_cached_repr", cached)
+        return cached
+
+    __repr__.__qualname__ = f"{cls.__qualname__}.__repr__"
+    cls.__repr__ = __repr__
+    return cls
+
+
 def rng_for(*parts) -> np.random.Generator:
     """A numpy Generator seeded by :func:`stable_seed`."""
     return np.random.default_rng(stable_seed(*parts))
 
 
+@_cache_repr
 @dataclass(frozen=True)
 class HyperParams:
     """The five hyperparameters tuned in the paper's evaluation (§7.1.3).
@@ -117,6 +141,7 @@ class HyperParams:
 BASE_CPU_FREQ_GHZ = 3.6
 
 
+@_cache_repr
 @dataclass(frozen=True)
 class SystemParams:
     """System parameters tuned by PipeTune (§7.1.4).
@@ -178,6 +203,7 @@ def paper_system_grid() -> Tuple[SystemParams, ...]:
     )
 
 
+@_cache_repr
 @dataclass(frozen=True)
 class WorkloadSpec:
     """Static description of one (model, dataset) workload.
@@ -254,6 +280,7 @@ class WorkloadSpec:
         return rng_for(self.name, *parts)
 
 
+@_cache_repr
 @dataclass(frozen=True)
 class TrialConfig:
     """Everything needed to run one training trial."""

@@ -1,0 +1,207 @@
+"""Equivalence suite for batched (coalesced) epoch stepping.
+
+``run_trial`` replaces the per-epoch timeouts of the run-out phase with
+one simulated sleep when the hooks declare themselves inert. These
+tests drive the same trial through both code paths — the default hooks
+coalesce, a behaviourally identical subclass that merely refuses the
+``runout_inert`` contract steps per epoch — and require bit-identical
+results: records, accumulated time/energy, end times, node state, and
+the exact same semantics under a mid-window interrupt.
+"""
+
+import pytest
+
+from repro.simulation.cluster import NodeSpec, SimCluster
+from repro.simulation.des import Environment, Interrupt
+from repro.telemetry.recorder import MetricsRecorder
+from repro.tune.trainer import TrialHooks, run_trial
+from repro.workloads.registry import LENET_MNIST
+from repro.workloads.spec import HyperParams, SystemParams
+
+
+class PerEpochHooks(TrialHooks):
+    """Identical behaviour to the default hooks, but never coalesces."""
+
+    def runout_inert(self, ctx, epoch):
+        return False
+
+
+class ContextCapture(TrialHooks):
+    """Inert hooks that also expose the trial context for inspection."""
+
+    def __init__(self):
+        self.ctx = None
+
+    def on_start(self, ctx):
+        self.ctx = ctx
+
+    def runout_inert(self, ctx, epoch):
+        return True
+
+
+class PerEpochContextCapture(ContextCapture):
+    def runout_inert(self, ctx, epoch):
+        return False
+
+
+def fresh_cluster():
+    env = Environment()
+    cluster = SimCluster(env, [NodeSpec(name="n0", cores=16, memory_gb=64.0)])
+    return env, cluster
+
+
+def start_trial(env, cluster, hooks, epochs=8, trial_id="t0", **kwargs):
+    return env.process(
+        run_trial(
+            env=env,
+            cluster=cluster,
+            trial_id=trial_id,
+            workload=LENET_MNIST,
+            hyper=HyperParams(batch_size=64, epochs=epochs),
+            system=SystemParams(cores=8, memory_gb=16.0),
+            hooks=hooks,
+            **kwargs,
+        )
+    )
+
+
+def record_tuple(record):
+    return (
+        record.epoch,
+        record.duration_s,
+        record.accuracy,
+        record.system,
+        record.energy_j,
+        record.profiled,
+        record.probed,
+    )
+
+
+class TestCoalescedEquivalence:
+    def test_results_bit_identical_to_per_epoch_stepping(self):
+        results = {}
+        for label, hooks in (("coalesced", TrialHooks()), ("stepped", PerEpochHooks())):
+            env, cluster = fresh_cluster()
+            process = start_trial(env, cluster, hooks)
+            env.run()
+            results[label] = (process.value, env.now)
+
+        coalesced, coalesced_end = results["coalesced"]
+        stepped, stepped_end = results["stepped"]
+        assert coalesced_end == stepped_end  # same float, not approx
+        assert coalesced.training_time_s == stepped.training_time_s
+        assert coalesced.energy_j == stepped.energy_j
+        assert coalesced.accuracy == stepped.accuracy
+        assert coalesced.start_time == stepped.start_time
+        assert coalesced.end_time == stepped.end_time
+        assert len(coalesced.records) == len(stepped.records) == 8
+        for a, b in zip(coalesced.records, stepped.records):
+            assert record_tuple(a) == record_tuple(b)
+
+    def test_setup_cost_and_start_epoch_preserved(self):
+        results = []
+        for hooks in (TrialHooks(), PerEpochHooks()):
+            env, cluster = fresh_cluster()
+            process = start_trial(
+                env, cluster, hooks, epochs=9, start_epoch=3, setup_cost_s=20.0
+            )
+            env.run()
+            results.append(process.value)
+        a, b = results
+        assert a.end_time == b.end_time
+        assert [r.epoch for r in a.records] == list(range(4, 10))
+        assert [record_tuple(r) for r in a.records] == [
+            record_tuple(r) for r in b.records
+        ]
+
+    def test_node_resources_released_after_coalesced_trial(self):
+        env, cluster = fresh_cluster()
+        process = start_trial(env, cluster, TrialHooks())
+        env.run()
+        assert process.ok
+        node = cluster.nodes[0]
+        assert node.cores.level == node.spec.cores
+        assert node.memory.level == node.spec.memory_gb
+        assert node.active_cores == 0.0
+
+    def test_power_listener_disables_coalescing(self):
+        """With telemetry attached, the power trace must keep its
+        per-epoch structure — one rise and one fall per epoch."""
+        env, cluster = fresh_cluster()
+        recorder = MetricsRecorder(env, cluster)  # registers listeners
+        process = start_trial(env, cluster, TrialHooks(), epochs=5)
+        env.run()
+        assert process.ok
+        watts = recorder.store.field_values("node_power", "watts")
+        # initial level + 2 transitions per epoch (busy up, busy down)
+        assert len(watts) == 1 + 2 * 5
+
+    def test_single_remaining_epoch_steps_normally(self):
+        env, cluster = fresh_cluster()
+        process = start_trial(env, cluster, TrialHooks(), epochs=1)
+        env.run()
+        assert process.ok
+        assert len(process.value.records) == 1
+
+
+class TestInterruptDuringCoalescedRunout:
+    @pytest.mark.parametrize("fraction", [0.05, 0.45, 0.83])
+    def test_interrupt_matches_per_epoch_semantics(self, fraction):
+        """Interrupting mid-window yields the exact state per-epoch
+        stepping would have produced: same completed records, same
+        leaked busy-core level for the in-progress epoch, same failure.
+        """
+        outcomes = {}
+        for label, hooks_cls in (
+            ("coalesced", ContextCapture),
+            ("stepped", PerEpochContextCapture),
+        ):
+            env, cluster = fresh_cluster()
+            hooks = hooks_cls()
+            process = start_trial(env, cluster, hooks, epochs=8)
+
+            # measure the trial's natural span once per variant
+            probe_env, probe_cluster = fresh_cluster()
+            probe = start_trial(probe_env, probe_cluster, PerEpochHooks(), epochs=8)
+            probe_env.run()
+            span = probe.value.end_time - probe.value.start_time
+
+            def interrupter(target, at):
+                yield env.timeout(at)
+                target.interrupt("stop")
+
+            env.process(interrupter(process, fraction * span))
+            env.run()
+            assert not process.ok
+            with pytest.raises(Interrupt):
+                _ = process.value
+            node = cluster.nodes[0]
+            outcomes[label] = (
+                [record_tuple(r) for r in hooks.ctx.records],
+                node.active_cores,
+                env.now,
+                node.cores.level,
+                node.memory.level,
+            )
+        assert outcomes["coalesced"] == outcomes["stepped"]
+
+    def test_interrupted_records_are_prefix_of_full_run(self):
+        env, cluster = fresh_cluster()
+        hooks = ContextCapture()
+        process = start_trial(env, cluster, hooks, epochs=8)
+
+        full_env, full_cluster = fresh_cluster()
+        full = start_trial(full_env, full_cluster, TrialHooks(), epochs=8)
+        full_env.run()
+        span = full.value.end_time - full.value.start_time
+
+        def interrupter():
+            yield env.timeout(0.5 * span)
+            process.interrupt()
+
+        env.process(interrupter())
+        env.run()
+        records = [record_tuple(r) for r in hooks.ctx.records]
+        reference = [record_tuple(r) for r in full.value.records]
+        assert 0 < len(records) < len(reference)
+        assert records == reference[: len(records)]

@@ -213,3 +213,111 @@ class TestLazySortFastPath:
         stream.seek(0)
         reloaded = TimeSeriesStore.load_stream(stream)
         assert [p.time for p in reloaded.query("power")] == [2.0, 4.0, 6.0]
+
+
+# ---------------------------------------------------------------------------
+# Columnar fast path: property tests against the point-by-point reference
+# ---------------------------------------------------------------------------
+
+def _reference_aggregate(store, measurement, field, window_s, agg, start, end):
+    """The historical point-by-point aggregation, kept as an oracle."""
+    from collections import defaultdict
+
+    from repro.tsdb.store import _AGGREGATORS
+
+    aggregator = _AGGREGATORS[agg]
+    points = store.query(measurement, start=start, end=end)
+    if not points:
+        return []
+    origin = start if start is not None else points[0].time
+    buckets = defaultdict(list)
+    for p in points:
+        if field not in p.fields:
+            continue
+        buckets[int((p.time - origin) // window_s)].append(p.fields[field])
+    return [
+        (origin + index * window_s, aggregator(values))
+        for index, values in sorted(buckets.items())
+    ]
+
+
+_point_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        st.one_of(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            st.integers(min_value=-1000, max_value=1000),
+        ),
+        st.booleans(),  # whether the point carries the queried field
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+class TestColumnarAggregationProperties:
+    @given(
+        raw=_point_strategy,
+        window=st.floats(min_value=1e-3, max_value=5e3, allow_nan=False),
+        agg=st.sampled_from(["mean", "sum", "min", "max", "count", "first", "last"]),
+        bounds=st.tuples(
+            st.one_of(st.none(), st.floats(min_value=0.0, max_value=1e4)),
+            st.one_of(st.none(), st.floats(min_value=0.0, max_value=1e4)),
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_columnar_matches_point_by_point(self, raw, window, agg, bounds):
+        """The vectorised window aggregation is bit- and type-identical
+        to the reference implementation, for every aggregator, over
+        unordered writes, missing fields and int-valued fields."""
+        store = TimeSeriesStore()
+        for time, value, has_field in raw:
+            fields = {"v": value} if has_field else {"other": 1.0}
+            store.write(Point(measurement="m", time=time, fields=fields))
+        start, end = bounds
+        if start is not None and end is not None and end < start:
+            start, end = end, start
+        expected = _reference_aggregate(store, "m", "v", window, agg, start, end)
+        got = store.aggregate_windows(
+            "m", "v", window_s=window, agg=agg, start=start, end=end
+        )
+        assert got == expected
+        # bit-exact: equal floats AND identical types (ints stay ints)
+        for (t_got, v_got), (t_exp, v_exp) in zip(got, expected):
+            assert repr(t_got) == repr(t_exp)
+            assert repr(v_got) == repr(v_exp)
+            assert type(v_got) is type(v_exp)
+
+    @given(raw=_point_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_field_values_match_query_projection(self, raw):
+        store = TimeSeriesStore()
+        for time, value, has_field in raw:
+            fields = {"v": value} if has_field else {"other": 1.0}
+            store.write(Point(measurement="m", time=time, fields=fields))
+        expected = [
+            p.fields["v"] for p in store.query("m") if "v" in p.fields
+        ]
+        assert store.field_values("m", "v") == expected
+
+    def test_write_invalidates_column_cache(self):
+        store = TimeSeriesStore()
+        store.write(pt(time=0.0, v=1.0))
+        store.write(pt(time=60.0, v=3.0))
+        assert store.aggregate_windows("power", "v", 60.0) == [(0.0, 1.0), (60.0, 3.0)]
+        # append out of order: cache must drop and results re-sort
+        store.write(pt(time=30.0, v=2.0))
+        assert store.aggregate_windows("power", "v", 60.0) == [
+            (0.0, (1.0 + 2.0) / 2),
+            (60.0, 3.0),
+        ]
+        assert store.field_values("power", "v") == [1.0, 2.0, 3.0]
+
+    def test_tagged_queries_bypass_column_cache(self):
+        store = TimeSeriesStore()
+        store.write(pt(time=0.0, tags={"node": "a"}, v=1.0))
+        store.write(pt(time=1.0, tags={"node": "b"}, v=5.0))
+        assert store.field_values("power", "v", tags={"node": "b"}) == [5.0]
+        assert store.aggregate_windows(
+            "power", "v", 60.0, tags={"node": "a"}
+        ) == [(0.0, 1.0)]
