@@ -4,41 +4,45 @@ Each benchmark module regenerates one table/figure of the paper via
 ``repro.experiments``; the rendered table is written to
 ``benchmarks/results/<exhibit>.txt`` so a full ``pytest benchmarks/
 --benchmark-only`` run leaves the reproduced exhibits on disk.
-"""
 
-import os
+The committed files are golden traces: they must regenerate
+byte-for-byte from the canonical parameters in
+``repro.experiments.EXHIBIT_RUNS``, so this suite runs every exhibit
+at exactly those parameters rather than carrying its own scale/seed
+literals (see benchmarks/README.md, "Determinism contract").
+"""
 
 import pytest
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+from repro.experiments import EXHIBIT_RUNS, golden
 
 
 @pytest.fixture(scope="session")
 def results_dir():
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    return RESULTS_DIR
+    return golden.RESULTS_DIR
 
 
 @pytest.fixture
 def record_exhibit(results_dir):
-    """Returns a callback that persists an ExperimentResult to disk."""
+    """Returns a callback that persists an ExperimentResult to disk,
+    serialized through the golden-trace harness so the bytes cannot
+    drift from what the determinism gate expects."""
 
     def _record(name, result):
-        path = os.path.join(results_dir, f"{name}.txt")
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(result.format_table())
-            handle.write("\n")
-        return path
+        return golden.write_trace(
+            name, golden.render_result(result), results_dir
+        )
 
     return _record
 
 
-def run_exhibit(benchmark, module, scale, record_exhibit, name, seed=0):
-    """Benchmark one exhibit's run() and persist its table."""
-    result = benchmark.pedantic(
-        lambda: module.run(scale=scale, seed=seed), rounds=1, iterations=1
-    )
+def run_exhibit(benchmark, name, record_exhibit):
+    """Benchmark one exhibit at its canonical (scale, seed), persist it."""
+    exhibit_run = EXHIBIT_RUNS[name]
+    result = benchmark.pedantic(exhibit_run.run, rounds=1, iterations=1)
     record_exhibit(name, result)
     benchmark.extra_info["rows"] = len(result.rows)
     benchmark.extra_info["exhibit"] = result.exhibit
+    benchmark.extra_info["scale"] = exhibit_run.scale
+    benchmark.extra_info["seed"] = exhibit_run.seed
     return result

@@ -1,14 +1,9 @@
 """Benchmark: regenerate paper Figure 01 via the experiment harness."""
 
-from repro.experiments import fig01_cost as exhibit_module
-
 from conftest import run_exhibit
 
 
 def test_fig01(benchmark, record_exhibit):
     """Fig 1: exponential grid-search tuning cost on EC2 instances."""
-    result = run_exhibit(
-        benchmark, exhibit_module, scale=1.0, record_exhibit=record_exhibit,
-        name="fig01",
-    )
+    result = run_exhibit(benchmark, "fig01", record_exhibit)
     assert result.rows[-1]["trials"] == 729

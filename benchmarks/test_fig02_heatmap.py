@@ -1,14 +1,9 @@
 """Benchmark: regenerate paper Figure 02 via the experiment harness."""
 
-from repro.experiments import fig02_heatmap as exhibit_module
-
 from conftest import run_exhibit
 
 
 def test_fig02(benchmark, record_exhibit):
     """Fig 2: 58-event PMU heatmap across epochs (CNN/News20)."""
-    result = run_exhibit(
-        benchmark, exhibit_module, scale=1.0, record_exhibit=record_exhibit,
-        name="fig02",
-    )
+    result = run_exhibit(benchmark, "fig02", record_exhibit)
     assert len(result.rows) == 58

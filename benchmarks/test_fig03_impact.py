@@ -1,15 +1,10 @@
 """Benchmark: regenerate paper Figure 03 via the experiment harness."""
 
-from repro.experiments import fig03_impact as exhibit_module
-
 from conftest import run_exhibit
 
 
 def test_fig03(benchmark, record_exhibit):
     """Fig 3: batch-size and core-count impact (LeNet/MNIST)."""
-    result = run_exhibit(
-        benchmark, exhibit_module, scale=1.0, record_exhibit=record_exhibit,
-        name="fig03",
-    )
+    result = run_exhibit(benchmark, "fig03", record_exhibit)
     small = [r for r in result.rows if r["panel"] == "b/c" and r["batch_size"] == 64]
     assert all(r["duration_diff_pct"] > 0 for r in small)

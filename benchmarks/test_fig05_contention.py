@@ -1,14 +1,9 @@
 """Benchmark: regenerate paper Figure 05 via the experiment harness."""
 
-from repro.experiments import fig05_contention as exhibit_module
-
 from conftest import run_exhibit
 
 
 def test_fig05(benchmark, record_exhibit):
     """Fig 5: Tune V2 under co-located jobs vs a single V1 job."""
-    result = run_exhibit(
-        benchmark, exhibit_module, scale=0.5, record_exhibit=record_exhibit,
-        name="fig05",
-    )
+    result = run_exhibit(benchmark, "fig05", record_exhibit)
     assert len(result.rows) == 12

@@ -1,14 +1,9 @@
 """Benchmark: regenerate paper Figure 08 via the experiment harness."""
 
-from repro.experiments import fig08_clusters as exhibit_module
-
 from conftest import run_exhibit
 
 
 def test_fig08(benchmark, record_exhibit):
     """Fig 8: k-means clusters group workloads by model/dataset."""
-    result = run_exhibit(
-        benchmark, exhibit_module, scale=1.0, record_exhibit=record_exhibit,
-        name="fig08",
-    )
+    result = run_exhibit(benchmark, "fig08", record_exhibit)
     assert len({r["cluster"] for r in result.rows}) == 2

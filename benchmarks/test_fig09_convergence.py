@@ -1,14 +1,9 @@
 """Benchmark: regenerate paper Figure 09 via the experiment harness."""
 
-from repro.experiments import fig09_convergence as exhibit_module
-
 from conftest import run_exhibit
 
 
 def test_fig09(benchmark, record_exhibit):
     """Fig 9: accuracy convergence over tuning wall-clock."""
-    result = run_exhibit(
-        benchmark, exhibit_module, scale=1.0, record_exhibit=record_exhibit,
-        name="fig09",
-    )
+    result = run_exhibit(benchmark, "fig09", record_exhibit)
     assert {r["system"] for r in result.rows} == {"pipetune", "tune-v1", "tune-v2"}

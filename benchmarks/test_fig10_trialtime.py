@@ -1,14 +1,9 @@
 """Benchmark: regenerate paper Figure 10 via the experiment harness."""
 
-from repro.experiments import fig10_trialtime as exhibit_module
-
 from conftest import run_exhibit
 
 
 def test_fig10(benchmark, record_exhibit):
     """Fig 10: training-trial time convergence."""
-    result = run_exhibit(
-        benchmark, exhibit_module, scale=1.0, record_exhibit=record_exhibit,
-        name="fig10",
-    )
+    result = run_exhibit(benchmark, "fig10", record_exhibit)
     assert all(r["trial_time_s"] > 0 for r in result.rows)

@@ -1,15 +1,10 @@
 """Benchmark: regenerate paper Figure 11 via the experiment harness."""
 
-from repro.experiments import fig11_single_tenancy as exhibit_module
-
 from conftest import run_exhibit
 
 
 def test_fig11(benchmark, record_exhibit):
     """Fig 11: single-tenancy Type-I/II, four metrics x three systems."""
-    result = run_exhibit(
-        benchmark, exhibit_module, scale=0.67, record_exhibit=record_exhibit,
-        name="fig11",
-    )
+    result = run_exhibit(benchmark, "fig11", record_exhibit)
     workloads = {r["workload"] for r in result.rows}
     assert len(workloads) == 4

@@ -1,14 +1,9 @@
 """Benchmark: regenerate paper Figure 12 via the experiment harness."""
 
-from repro.experiments import fig12_type3 as exhibit_module
-
 from conftest import run_exhibit
 
 
 def test_fig12(benchmark, record_exhibit):
     """Fig 12: single-node Type-III, four metrics x three systems."""
-    result = run_exhibit(
-        benchmark, exhibit_module, scale=0.67, record_exhibit=record_exhibit,
-        name="fig12",
-    )
+    result = run_exhibit(benchmark, "fig12", record_exhibit)
     assert len({r["workload"] for r in result.rows}) == 3

@@ -1,15 +1,10 @@
 """Benchmark: regenerate paper Figure 13 via the experiment harness."""
 
-from repro.experiments import fig13_mt_type12 as exhibit_module
-
 from conftest import run_exhibit
 
 
 def test_fig13(benchmark, record_exhibit):
     """Fig 13: multi-tenancy response time, Type-I/II mix."""
-    result = run_exhibit(
-        benchmark, exhibit_module, scale=0.67, record_exhibit=record_exhibit,
-        name="fig13",
-    )
+    result = run_exhibit(benchmark, "fig13", record_exhibit)
     by_system = {r["system"]: r["all_s"] for r in result.rows}
     assert by_system["pipetune"] < by_system["tune-v1"]

@@ -1,15 +1,10 @@
 """Benchmark: regenerate paper Figure 14 via the experiment harness."""
 
-from repro.experiments import fig14_mt_type3 as exhibit_module
-
 from conftest import run_exhibit
 
 
 def test_fig14(benchmark, record_exhibit):
     """Fig 14: multi-tenancy response time, Type-III."""
-    result = run_exhibit(
-        benchmark, exhibit_module, scale=0.67, record_exhibit=record_exhibit,
-        name="fig14",
-    )
+    result = run_exhibit(benchmark, "fig14", record_exhibit)
     by_system = {r["system"]: r["all_s"] for r in result.rows}
     assert by_system["pipetune"] < by_system["tune-v1"]

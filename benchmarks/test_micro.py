@@ -6,6 +6,7 @@ regressions in the simulator show up as benchmark regressions.
 """
 
 import numpy as np
+import pytest
 
 from repro.core.clustering import KMeans
 from repro.counters.pmu import Pmu
@@ -17,7 +18,13 @@ from repro.tsdb.store import TimeSeriesStore
 from repro.tune.trainer import run_trial
 from repro.workloads.perfmodel import epoch_time
 from repro.workloads.registry import LENET_MNIST
-from repro.workloads.spec import HyperParams, SystemParams, TrialConfig
+from repro.workloads.spec import (
+    HyperParams,
+    SystemParams,
+    TrialConfig,
+    rng_for,
+    stable_seed,
+)
 
 
 def test_des_event_throughput(benchmark):
@@ -93,6 +100,32 @@ def test_epoch_time_model(benchmark):
     )
     value = benchmark(lambda: epoch_time(config, epoch=1))
     assert value > 0
+
+
+@pytest.mark.parametrize(
+    "constructor",
+    [
+        pytest.param(
+            lambda i: np.random.default_rng(stable_seed("bench-rng", i)),
+            id="legacy_pcg64",
+        ),
+        pytest.param(lambda i: rng_for("bench-rng", i), id="philox"),
+    ],
+)
+def test_rng_construction(benchmark, constructor):
+    """Per-stream derivation cost: legacy SeedSequence->PCG64 spin-up
+    vs the pooled counter-keyed Philox adapter. 200 fresh streams with
+    one draw each — the shape of the simulator's hot path, where
+    construction (not drawing) dominates."""
+
+    def run():
+        total = 0.0
+        for i in range(200):
+            total += constructor(i).random()
+        return total
+
+    total = benchmark(run)
+    assert 0.0 < total < 200.0
 
 
 def test_kmeans_fit(benchmark):

@@ -1,15 +1,10 @@
 """Benchmark: regenerate paper Table 2 via the experiment harness."""
 
-from repro.experiments import table2 as exhibit_module
-
 from conftest import run_exhibit
 
 
 def test_table2(benchmark, record_exhibit):
     """Table 2: Arbitrary vs Tune V1/V2 vs PipeTune (LeNet/MNIST)."""
-    result = run_exhibit(
-        benchmark, exhibit_module, scale=1.0, record_exhibit=record_exhibit,
-        name="table2",
-    )
+    result = run_exhibit(benchmark, "table2", record_exhibit)
     rows = {r["approach"]: r for r in result.rows}
     assert rows["PipeTune"]["tuning_time_s"] < rows["Tune V1"]["tuning_time_s"]

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Regenerate or verify the committed exhibit tables (golden traces).
+
+Every file under ``benchmarks/results/`` must regenerate byte-for-byte
+from the canonical parameters in ``repro.experiments.EXHIBIT_RUNS``.
+This is the operator entry point around
+:mod:`repro.experiments.golden`:
+
+    PYTHONPATH=src python scripts/regenerate_exhibits.py --check
+        regenerate every exhibit in memory and byte-diff it against the
+        committed copy; exit 1 on any difference (CI's exhibits job);
+
+    PYTHONPATH=src python scripts/regenerate_exhibits.py --update
+        rewrite the committed files in place (the one-time re-baseline
+        step after an intentional stream change — commit the diff
+        together with the change that explains it);
+
+    ... --only fig09 table2
+        restrict either mode to a subset.
+
+See benchmarks/README.md ("Determinism contract & re-baseline
+procedure") for when a re-baseline is legitimate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.experiments import golden  # noqa: E402
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--check",
+        action="store_true",
+        help="byte-diff regenerated exhibits against the committed files",
+    )
+    mode.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the committed exhibit files from this run",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="NAME",
+        help="restrict to these exhibits (default: all of EXHIBIT_RUNS)",
+    )
+    parser.add_argument(
+        "--diff-lines",
+        type=int,
+        default=20,
+        help="max unified-diff lines to print per mismatch (default 20)",
+    )
+    args = parser.parse_args()
+    names = golden.resolve_names(args.only)
+
+    if args.update:
+        for name in names:
+            start = time.perf_counter()
+            path = golden.regenerate([name])[name]
+            elapsed = time.perf_counter() - start
+            print(f"{name:8s} written {path} ({elapsed:.1f}s)")
+        return
+
+    failed = []
+    for name in names:
+        start = time.perf_counter()
+        diff = golden.check([name])[name]
+        elapsed = time.perf_counter() - start
+        print(f"{name:8s} {diff.status:8s} ({elapsed:.1f}s)")
+        if diff.status == "ok":
+            continue
+        failed.append(name)
+        if not diff.committed_exists:
+            print(f"  no committed file at {golden.committed_path(name)}")
+            continue
+        with open(
+            golden.committed_path(name), "r", encoding="utf-8", newline=""
+        ) as handle:
+            committed = handle.read()
+        delta = difflib.unified_diff(
+            committed.splitlines(keepends=True),
+            diff.regenerated.splitlines(keepends=True),
+            fromfile=f"committed/{name}.txt",
+            tofile=f"regenerated/{name}.txt",
+        )
+        for i, line in enumerate(delta):
+            if i >= args.diff_lines:
+                print("  ... diff truncated ...")
+                break
+            print("  " + line.rstrip("\n"))
+
+    if failed:
+        raise SystemExit(
+            f"exhibits out of sync with their golden traces: {failed}; "
+            "if the stream change is intentional, re-baseline with "
+            "--update and commit the diff"
+        )
+    print(f"all {len(names)} exhibits byte-identical to their golden traces")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..workloads.spec import rng_for
+
 
 def _as_matrix(x) -> np.ndarray:
     x = np.asarray(x, dtype=float)
@@ -109,7 +111,7 @@ class KMeans:
         x = _as_matrix(x)
         if len(x) < self.k:
             raise ValueError(f"need at least k={self.k} samples, got {len(x)}")
-        rng = np.random.default_rng(self.seed)
+        rng = rng_for("kmeans", self.seed)
         best = None
         for _ in range(self.n_init):
             centroids = self._init_centroids(x, rng)

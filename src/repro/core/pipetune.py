@@ -180,7 +180,11 @@ class PipeTuneHooks(TrialHooks):
                     # Infeasible on this cluster; skip by recording a
                     # poison sample so it never wins.
                     self._controller.record(
-                        ProbeSample(system=config, duration_s=float("inf"), energy_j=float("inf"))
+                        ProbeSample(
+                            system=config,
+                            duration_s=float("inf"),
+                            energy_j=float("inf"),
+                        )
                     )
                     return self.before_epoch(ctx, epoch)
                 self.session.stats.probes_run += 1
@@ -222,7 +226,10 @@ class PipeTuneHooks(TrialHooks):
                     )
                 )
             remaining = self._remaining_epochs(ctx)
-            if self._controller.exhausted or remaining <= self.session.config.min_epochs_after_probe:
+            if (
+                self._controller.exhausted
+                or remaining <= self.session.config.min_epochs_after_probe
+            ):
                 self._finish_probing(ctx)
 
     def on_end(self, ctx: TrialContext, result: TrialResult) -> None:
@@ -290,7 +297,9 @@ class PipeTuneHooks(TrialHooks):
                     best_system=self._target_system,
                     objective_value=max(
                         (
-                            self.session.config.system_objective(s.duration_s, s.energy_j)
+                            self.session.config.system_objective(
+                                s.duration_s, s.energy_j
+                            )
                             for s in self._controller.samples
                             if np.isfinite(s.duration_s)
                         ),

@@ -145,7 +145,12 @@ class Pmu:
         raw[generic] = truth[generic] * share
         if noisy:
             rng = rng_for(
-                "pmu-mux", self._seed, config.workload.name, config.hyper, config.system, epoch
+                "pmu-mux",
+                self._seed,
+                config.workload.name,
+                config.hyper,
+                config.system,
+                epoch,
             )
             # Blind-spot error shrinks with the observed share.
             blind = rng.normal(0.0, 0.02 * (1.0 - share), size=len(generic))

@@ -18,6 +18,8 @@ from . import (
     fig14_mt_type3,
     table2,
 )
+from dataclasses import dataclass
+
 from .harness import ExperimentResult
 
 #: registry of every reproduced exhibit, in paper order.
@@ -36,4 +38,46 @@ EXHIBITS = {
     "fig14": fig14_mt_type3,
 }
 
-__all__ = ["EXHIBITS", "ExperimentResult"]
+
+@dataclass(frozen=True)
+class ExhibitRun:
+    """Canonical (scale, seed) under which an exhibit is committed.
+
+    ``benchmarks/results/*.txt`` are regenerated and byte-diffed at
+    exactly these parameters — by the benchmark suite, by
+    ``scripts/regenerate_exhibits.py`` and by CI's exhibits job — so
+    they live in one place.
+    """
+
+    name: str
+    scale: float
+    seed: int = 0
+
+    @property
+    def module(self):
+        return EXHIBITS[self.name]
+
+    def run(self) -> ExperimentResult:
+        return self.module.run(scale=self.scale, seed=self.seed)
+
+
+#: canonical regeneration parameters for every committed exhibit.
+EXHIBIT_RUNS = {
+    run.name: run
+    for run in (
+        ExhibitRun("fig01", scale=1.0),
+        ExhibitRun("fig02", scale=1.0),
+        ExhibitRun("fig03", scale=1.0),
+        ExhibitRun("fig05", scale=0.5),
+        ExhibitRun("table2", scale=1.0),
+        ExhibitRun("fig08", scale=1.0),
+        ExhibitRun("fig09", scale=1.0),
+        ExhibitRun("fig10", scale=1.0),
+        ExhibitRun("fig11", scale=0.67),
+        ExhibitRun("fig12", scale=0.67),
+        ExhibitRun("fig13", scale=0.67),
+        ExhibitRun("fig14", scale=0.67),
+    )
+}
+
+__all__ = ["EXHIBITS", "EXHIBIT_RUNS", "ExhibitRun", "ExperimentResult"]

@@ -66,7 +66,11 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     for i, event in enumerate(EVENT_NAMES):
         training_cols = matrix[i, 1:]
         cv = float(np.std(training_cols) / max(1e-12, np.mean(training_cols)))
-        row = {"event": event, "bucket": bucket_label(float(np.mean(training_cols))), "cv": cv}
+        row = {
+            "event": event,
+            "bucket": bucket_label(float(np.mean(training_cols))),
+            "cv": cv,
+        }
         for column, phase in enumerate(phases):
             row[f"log10@{phase}"] = float(np.log10(1.0 + matrix[i, column]))
         result.add_row(**row)

@@ -27,7 +27,9 @@ from .harness import ExperimentResult
 EPOCHS = 10
 
 
-def _train(batch_size: int, cores: int, memory_gb: float = 32.0) -> Tuple[float, float, float]:
+def _train(
+    batch_size: int, cores: int, memory_gb: float = 32.0
+) -> Tuple[float, float, float]:
     """(accuracy, duration_s, energy_j) of one full training run.
 
     Energy is the node-level (PDU-view) trapezoidal integral over the

@@ -51,7 +51,9 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     return result
 
 
-def time_to_accuracy(result: ExperimentResult, system: str, accuracy_pct: float) -> float:
+def time_to_accuracy(
+    result: ExperimentResult, system: str, accuracy_pct: float
+) -> float:
     """Wall-clock until a system's best accuracy crosses a level."""
     for row in sorted(
         (r for r in result.rows if r["system"] == system),

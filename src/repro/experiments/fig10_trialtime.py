@@ -19,7 +19,8 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         exhibit="Figure 10",
         title="Training-trial time over tuning wall-clock (CNN/News20)",
         columns=["system", "wall_time_s", "trial_time_s"],
-        notes="one row per completed trial; trial_time normalised to a full training run",
+        notes="one row per completed trial; "
+        "trial_time normalised to a full training run",
     )
     for system, hpt in results.items():
         for point in hpt.timeline:

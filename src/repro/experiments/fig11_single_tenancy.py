@@ -71,7 +71,9 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     return result
 
 
-def metric_by_system(result: ExperimentResult, workload: str, metric: str) -> Dict[str, float]:
+def metric_by_system(
+    result: ExperimentResult, workload: str, metric: str
+) -> Dict[str, float]:
     """{system: value} for one workload and metric column."""
     return {
         row["system"]: row[metric]

@@ -1,0 +1,122 @@
+"""Golden-trace determinism harness for the committed exhibits.
+
+The committed ``benchmarks/results/*.txt`` files are the golden traces
+of the reproduction: every one of them must regenerate byte-for-byte
+from the canonical :data:`repro.experiments.EXHIBIT_RUNS` parameters on
+any machine, any run. This module is the single implementation of
+"render an exhibit the way it is committed" plus the byte-diff against
+the committed copy; it backs
+
+* ``scripts/regenerate_exhibits.py`` (the operator entry point),
+* the ``golden_exhibits`` test fixture (``tests/conftest.py``), and
+* CI's exhibits job (``--check`` over all exhibits).
+
+Any PR that touches random streams reruns this harness once in
+``--update`` mode and commits the new traces together with the change
+that explains them (see benchmarks/README.md, "Determinism contract &
+re-baseline procedure").
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from . import EXHIBIT_RUNS
+
+#: benchmarks/results relative to the repository root (three levels up
+#: from this file: src/repro/experiments -> repo).
+_REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+)
+RESULTS_DIR = os.path.join(_REPO_ROOT, "benchmarks", "results")
+
+
+def committed_path(name: str) -> str:
+    """Path of one exhibit's committed golden trace."""
+    return os.path.join(RESULTS_DIR, f"{name}.txt")
+
+
+def render_result(result) -> str:
+    """Serialize an ExperimentResult exactly as committed on disk.
+
+    The single definition of the trace format (rendered table plus one
+    trailing newline) — the benchmark suite's ``record_exhibit``
+    fixture and every writer below go through it.
+    """
+    return result.format_table() + "\n"
+
+
+def write_trace(name: str, content: str, results_dir: Optional[str] = None) -> str:
+    """Write one exhibit's trace bytes verbatim; returns the path."""
+    results_dir = results_dir or RESULTS_DIR
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, f"{name}.txt")
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(content)
+    return path
+
+
+def render(name: str) -> str:
+    """Regenerate one exhibit at its canonical (scale, seed) -> bytes."""
+    return render_result(EXHIBIT_RUNS[name].run())
+
+
+def resolve_names(names: Optional[Iterable[str]] = None) -> List[str]:
+    """Validate/expand a user-supplied exhibit subset (None = all)."""
+    if names is None:
+        return list(EXHIBIT_RUNS)
+    resolved = list(names)
+    unknown = [n for n in resolved if n not in EXHIBIT_RUNS]
+    if unknown:
+        raise KeyError(
+            f"unknown exhibits {unknown}; known: {sorted(EXHIBIT_RUNS)}"
+        )
+    return resolved
+
+
+@dataclass(frozen=True)
+class ExhibitDiff:
+    """Outcome of regenerating one exhibit against its committed trace."""
+
+    name: str
+    matches: bool
+    committed_exists: bool
+    regenerated: str
+
+    @property
+    def status(self) -> str:
+        if not self.committed_exists:
+            return "MISSING"
+        return "ok" if self.matches else "DIFF"
+
+
+def check(names: Optional[Iterable[str]] = None) -> Dict[str, ExhibitDiff]:
+    """Regenerate exhibits and byte-diff each against the committed file."""
+    diffs: Dict[str, ExhibitDiff] = {}
+    for name in resolve_names(names):
+        regenerated = render(name)
+        path = committed_path(name)
+        exists = os.path.exists(path)
+        committed = None
+        if exists:
+            with open(path, "r", encoding="utf-8", newline="") as handle:
+                committed = handle.read()
+        diffs[name] = ExhibitDiff(
+            name=name,
+            matches=committed == regenerated,
+            committed_exists=exists,
+            regenerated=regenerated,
+        )
+    return diffs
+
+
+def regenerate(
+    names: Optional[Iterable[str]] = None, results_dir: Optional[str] = None
+) -> Dict[str, str]:
+    """Regenerate exhibits onto disk; returns {name: path written}."""
+    return {
+        name: write_trace(name, render(name), results_dir)
+        for name in resolve_names(names)
+    }

@@ -15,7 +15,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..core.pipetune import PipeTuneConfig, PipeTuneSession
 from ..hpo.hyperband import HyperBand
 from ..hpo.space import joint_space, paper_hyper_space
-from ..simulation.cluster import SimCluster, paper_distributed_cluster, paper_single_node
+from ..simulation.cluster import (
+    SimCluster,
+    paper_distributed_cluster,
+    paper_single_node,
+)
 from ..simulation.des import Environment
 from ..tune.objectives import accuracy_objective, accuracy_per_time_objective
 from ..tune.runner import DEFAULT_SYSTEM, HptJobSpec, HptResult, run_hpt_job
@@ -127,7 +131,9 @@ def make_pipetune_session(
 ) -> PipeTuneSession:
     """A PipeTune session sized for one of the two paper testbeds."""
     if distributed:
-        return PipeTuneSession(config=config, max_cores=16, max_memory_gb=32.0, seed=seed)
+        return PipeTuneSession(
+            config=config, max_cores=16, max_memory_gb=32.0, seed=seed
+        )
     session = PipeTuneSession(config=config, max_cores=8, max_memory_gb=24.0, seed=seed)
     if config is None:
         session.config.cores_grid = (4, 8)

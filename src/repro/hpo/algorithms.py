@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..workloads.spec import rng_for
 from .space import SearchSpace
 
 
@@ -62,7 +63,7 @@ class SearchAlgorithm:
     def __init__(self, space: SearchSpace, seed: int = 0):
         self.space = space
         self.seed = seed
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng_for("hpo-search", seed)
         self._observations: List[Observation] = []
         self._pending: Dict[str, Suggestion] = {}
         self._ids = itertools.count()
@@ -106,7 +107,13 @@ class SearchAlgorithm:
 class GridSearch(SearchAlgorithm):
     """Exhaustive cartesian search (the naive baseline of Fig 1)."""
 
-    def __init__(self, space: SearchSpace, points_per_dim: int = 3, epochs: int = 10, seed: int = 0):
+    def __init__(
+        self,
+        space: SearchSpace,
+        points_per_dim: int = 3,
+        epochs: int = 10,
+        seed: int = 0,
+    ):
         super().__init__(space, seed=seed)
         if "epochs" in space:
             # the epochs axis of the grid drives the trial length
@@ -124,7 +131,9 @@ class GridSearch(SearchAlgorithm):
             config = self._configs[self._cursor]
             self._cursor += 1
             epochs = (
-                int(config["epochs"]) if self._epochs_from_config else self._default_epochs
+                int(config["epochs"])
+                if self._epochs_from_config
+                else self._default_epochs
             )
             batch.append(
                 self._issue(
@@ -146,7 +155,13 @@ class GridSearch(SearchAlgorithm):
 class RandomSearch(SearchAlgorithm):
     """IID random sampling (Bergstra & Bengio, 2012)."""
 
-    def __init__(self, space: SearchSpace, num_samples: int = 20, epochs: int = 10, seed: int = 0):
+    def __init__(
+        self,
+        space: SearchSpace,
+        num_samples: int = 20,
+        epochs: int = 10,
+        seed: int = 0,
+    ):
         if num_samples < 1:
             raise ValueError("num_samples must be >= 1")
         super().__init__(space, seed=seed)

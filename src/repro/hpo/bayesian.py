@@ -17,7 +17,9 @@ from .algorithms import Observation, SearchAlgorithm, Suggestion
 from .space import SearchSpace
 
 
-def rbf_kernel(a: np.ndarray, b: np.ndarray, length_scale: float, variance: float) -> np.ndarray:
+def rbf_kernel(
+    a: np.ndarray, b: np.ndarray, length_scale: float, variance: float
+) -> np.ndarray:
     """Squared-exponential kernel matrix between row-stacked points."""
     a2 = np.sum(a * a, axis=1)[:, None]
     b2 = np.sum(b * b, axis=1)[None, :]
@@ -28,7 +30,9 @@ def rbf_kernel(a: np.ndarray, b: np.ndarray, length_scale: float, variance: floa
 class GaussianProcess:
     """Exact GP regression with an RBF kernel and fixed hyperparameters."""
 
-    def __init__(self, length_scale: float = 0.25, variance: float = 1.0, noise: float = 1e-4):
+    def __init__(
+        self, length_scale: float = 0.25, variance: float = 1.0, noise: float = 1e-4
+    ):
         if length_scale <= 0 or variance <= 0 or noise <= 0:
             raise ValueError("GP hyperparameters must be positive")
         self.length_scale = length_scale
@@ -73,14 +77,18 @@ class GaussianProcess:
 
 
 def _norm_cdf(z: np.ndarray) -> np.ndarray:
-    return 0.5 * (1.0 + np.array([math.erf(v / math.sqrt(2.0)) for v in np.atleast_1d(z)]))
+    return 0.5 * (
+        1.0 + np.array([math.erf(v / math.sqrt(2.0)) for v in np.atleast_1d(z)])
+    )
 
 
 def _norm_pdf(z: np.ndarray) -> np.ndarray:
     return np.exp(-0.5 * z * z) / math.sqrt(2.0 * math.pi)
 
 
-def expected_improvement(mean: np.ndarray, std: np.ndarray, best: float, xi: float = 0.01) -> np.ndarray:
+def expected_improvement(
+    mean: np.ndarray, std: np.ndarray, best: float, xi: float = 0.01
+) -> np.ndarray:
     """EI acquisition for maximisation."""
     improvement = mean - best - xi
     z = improvement / std

@@ -283,5 +283,9 @@ def paper_single_node(env: Environment) -> SimCluster:
     """The single E5-2620 node used for Type-III experiments (§7.1.1)."""
     return SimCluster(
         env,
-        [NodeSpec(name="node0", cores=8, memory_gb=24.0, idle_watts=55.0, core_watts=10.0)],
+        [
+            NodeSpec(
+                name="node0", cores=8, memory_gb=24.0, idle_watts=55.0, core_watts=10.0
+            )
+        ],
     )

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..workloads.spec import rng_for
 from .cluster import Node, SimCluster
 from .des import Environment
 
@@ -124,7 +125,7 @@ class PduSampler:
         self.resolution = resolution_watts
         self.precision = precision
         self.samples: List[PowerSample] = []
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng_for("pdu-sampler", seed)
         self._running = False
         # The sampler polls node.power_watts without a listener; flag
         # the nodes so the trainer keeps per-epoch power transitions.

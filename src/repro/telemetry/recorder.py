@@ -99,7 +99,9 @@ class MetricsRecorder:
         return RecordingHooks(self, inner or TrialHooks())
 
     # -- convenience queries ----------------------------------------------------
-    def mean_cluster_power_w(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
+    def mean_cluster_power_w(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> float:
         """Time-unweighted mean of recorded node power samples."""
         values = self.store.field_values("node_power", "watts", start=start, end=end)
         if not values:

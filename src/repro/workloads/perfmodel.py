@@ -71,7 +71,9 @@ def working_set_gb(workload: WorkloadSpec, hyper: HyperParams) -> float:
     return ws
 
 
-def memory_penalty(workload: WorkloadSpec, hyper: HyperParams, system: SystemParams) -> float:
+def memory_penalty(
+    workload: WorkloadSpec, hyper: HyperParams, system: SystemParams
+) -> float:
     """Multiplicative slowdown when memory is short of the working set.
 
     1.0 when memory suffices; grows linearly with the shortfall ratio
@@ -153,12 +155,16 @@ def epoch_cost(
     )
 
 
-def epoch_time(config: TrialConfig, epoch: int = 0, contention: float = 1.0, noisy: bool = True) -> float:
+def epoch_time(
+    config: TrialConfig, epoch: int = 0, contention: float = 1.0, noisy: bool = True
+) -> float:
     """Convenience wrapper returning only the total epoch seconds."""
     return epoch_cost(config, epoch=epoch, contention=contention, noisy=noisy).total_s
 
 
-def training_time(config: TrialConfig, contention: float = 1.0, noisy: bool = True) -> float:
+def training_time(
+    config: TrialConfig, contention: float = 1.0, noisy: bool = True
+) -> float:
     """Wall-clock of a full training run (all epochs, no tuning)."""
     return sum(
         epoch_time(config, epoch=e, contention=contention, noisy=noisy)

@@ -1,0 +1,17 @@
+"""Shared fixtures for the tier-1 suite.
+
+``golden_exhibits`` is the test-side entry into the golden-trace
+determinism harness (:mod:`repro.experiments.golden`): the same
+render/byte-diff implementation that backs
+``scripts/regenerate_exhibits.py`` and CI's exhibits job, exposed as a
+fixture so determinism tests cannot drift from the operator tooling.
+"""
+
+import pytest
+
+from repro.experiments import golden
+
+
+@pytest.fixture(scope="session")
+def golden_exhibits():
+    return golden

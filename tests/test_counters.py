@@ -1,5 +1,7 @@
 """Tests for the simulated PMU: events, multiplexing, profiler."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -32,7 +34,9 @@ from repro.workloads.spec import HyperParams, SystemParams, TrialConfig
 
 def config(workload=LENET_MNIST, batch=64, cores=8, memory=16.0):
     return TrialConfig(
-        workload, HyperParams(batch_size=batch), SystemParams(cores=cores, memory_gb=memory)
+        workload,
+        HyperParams(batch_size=batch),
+        SystemParams(cores=cores, memory_gb=memory),
     )
 
 
@@ -69,21 +73,29 @@ class TestEvents:
     def test_signature_positive(self):
         assert (workload_signature(CNN_NEWS20) > 0).all()
 
+    # Two workloads sharing a model (or dataset) differ on the shared
+    # side only by their independent wobbles: log10-ratio ~ N(0,
+    # sqrt(2) * 0.05). A 0.35-decade bound is ~5 sigma of that — and an
+    # order of magnitude below genuine cross-model spreads (sigma 0.5
+    # per side), so the test stays stream-agnostic instead of leaning
+    # on one lucky draw.
+    WOBBLE_LOG10_BOUND = 0.35
+
     def test_same_model_shares_compute_side(self):
         """lenet-mnist and lenet-fashion share the model: compute-side
-        rates identical up to the per-workload wobble (< 20 %)."""
+        rates identical up to the per-workload wobble."""
         a = workload_signature(LENET_MNIST)
         b = workload_signature(LENET_FASHION)
         for i, event in enumerate(EVENT_NAMES):
             if is_compute_side(event):
-                assert a[i] == pytest.approx(b[i], rel=0.5)
+                assert abs(math.log10(a[i] / b[i])) < self.WOBBLE_LOG10_BOUND
 
     def test_same_dataset_shares_memory_side(self):
         a = workload_signature(CNN_NEWS20)
         b = workload_signature(LSTM_NEWS20)
         for i, event in enumerate(EVENT_NAMES):
             if not is_compute_side(event):
-                assert a[i] == pytest.approx(b[i], rel=0.5)
+                assert abs(math.log10(a[i] / b[i])) < self.WOBBLE_LOG10_BOUND
 
     def test_different_models_differ(self):
         a = np.log10(workload_signature(LENET_MNIST))

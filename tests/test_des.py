@@ -117,7 +117,11 @@ class TestTimeoutAndClock:
         with pytest.raises(SimulationError):
             Environment().step()
 
-    @given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30))
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30
+        )
+    )
     @settings(max_examples=50, deadline=None)
     def test_clock_is_monotone_for_any_delays(self, delays):
         env = Environment()

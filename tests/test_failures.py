@@ -54,7 +54,9 @@ class TestTrialOom:
             assert isinstance(error, TrialError)
 
     def test_resources_released_after_oom(self):
-        _, cluster, process = run_single(self.BIG_BATCH, self.STARVED, oom_threshold=2.0)
+        _, cluster, process = run_single(
+            self.BIG_BATCH, self.STARVED, oom_threshold=2.0
+        )
         with pytest.raises(TrialOutOfMemory):
             _ = process.value
         node = cluster.nodes[0]

@@ -129,7 +129,9 @@ class TestHyperBand:
 
     def test_sample_scale_multiplies_configs(self):
         base = HyperBand(toy_space(), max_epochs=9, eta=3).total_configs()
-        scaled = HyperBand(toy_space(), max_epochs=9, eta=3, sample_scale=1.5).total_configs()
+        scaled = HyperBand(
+            toy_space(), max_epochs=9, eta=3, sample_scale=1.5
+        ).total_configs()
         assert scaled > base
 
     def test_epochs_domain_is_ignored(self):
@@ -154,7 +156,9 @@ class TestHyperBand:
         algo = HyperBand(toy_space(), max_epochs=9, eta=3, seed=1)
         rung0 = algo.next_batch()
         for s in rung0:
-            algo.report(Observation(s.trial_id, s.params, 1.0, 0.5, 1.0, s.target_epochs))
+            algo.report(
+                Observation(s.trial_id, s.params, 1.0, 0.5, 1.0, s.target_epochs)
+            )
         rung1 = algo.next_batch()
         for s in rung1:
             assert s.start_epoch == 1
@@ -239,10 +243,16 @@ class TestBayesianOptimisation:
             return max(o.score for o in drive(algo, quadratic_score))
 
         bo = np.mean(
-            [best_of(BayesianOptimisation(toy_space(), num_samples=20, seed=s)) for s in range(3)]
+            [
+                best_of(BayesianOptimisation(toy_space(), num_samples=20, seed=s))
+                for s in range(3)
+            ]
         )
         rnd = np.mean(
-            [best_of(RandomSearch(toy_space(), num_samples=20, seed=s)) for s in range(3)]
+            [
+                best_of(RandomSearch(toy_space(), num_samples=20, seed=s))
+                for s in range(3)
+            ]
         )
         assert bo >= rnd - 0.05  # BO should not be (meaningfully) worse
 
@@ -268,7 +278,9 @@ class TestGeneticSearch:
         assert last >= first
 
     def test_elitism_preserves_best_params(self):
-        algo = GeneticSearch(toy_space(), population=6, generations=2, elitism=1, seed=0)
+        algo = GeneticSearch(
+            toy_space(), population=6, generations=2, elitism=1, seed=0
+        )
         gen0 = algo.next_batch()
         best_params = None
         for i, s in enumerate(gen0):
@@ -315,7 +327,12 @@ class TestPBT:
 
     def test_exploit_copies_from_top(self):
         algo = PopulationBasedTraining(
-            toy_space(), population=4, segment_epochs=1, segments=2, truncation=0.25, seed=0
+            toy_space(),
+            population=4,
+            segment_epochs=1,
+            segments=2,
+            truncation=0.25,
+            seed=0,
         )
         batch = algo.next_batch()
         for i, s in enumerate(batch):

@@ -80,7 +80,9 @@ class TestLogUniform:
     def test_roundtrip(self, value):
         dom = LogUniform(1e-4, 1.0)
         clipped = dom.clip(value)
-        assert dom.denormalise(dom.normalise(clipped)) == pytest.approx(clipped, rel=1e-6)
+        assert dom.denormalise(dom.normalise(clipped)) == pytest.approx(
+            clipped, rel=1e-6
+        )
 
 
 class TestChoice:

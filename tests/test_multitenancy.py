@@ -92,7 +92,9 @@ class TestUnseenVariant:
         assert variant.workload_type == LENET_MNIST.workload_type
 
     def test_variant_indices_distinct(self):
-        assert unseen_variant(LENET_MNIST, 1).name != unseen_variant(LENET_MNIST, 2).name
+        assert (
+            unseen_variant(LENET_MNIST, 1).name != unseen_variant(LENET_MNIST, 2).name
+        )
 
 
 class TestScheduler:

@@ -9,7 +9,12 @@ from repro.simulation.power import EnergyMeter, IntervalEnergyMeter, PduSampler
 
 def one_node(env, idle=60.0, core=10.0):
     return SimCluster(
-        env, [NodeSpec(name="n0", cores=8, memory_gb=32.0, idle_watts=idle, core_watts=core)]
+        env,
+        [
+            NodeSpec(
+                name="n0", cores=8, memory_gb=32.0, idle_watts=idle, core_watts=core
+            )
+        ],
     )
 
 

@@ -67,7 +67,9 @@ class TestV1Policy:
     def test_all_trials_use_default_system(self):
         spec = HptJobSpec(
             workload=LENET_MNIST,
-            algorithm_factory=lambda: RandomSearch(small_space(), num_samples=4, seed=0),
+            algorithm_factory=lambda: RandomSearch(
+                small_space(), num_samples=4, seed=0
+            ),
             system_policy="v1",
         )
         result = run_job(spec)
@@ -77,7 +79,9 @@ class TestV1Policy:
     def test_best_is_argmax_accuracy(self):
         spec = HptJobSpec(
             workload=LENET_MNIST,
-            algorithm_factory=lambda: RandomSearch(small_space(), num_samples=4, seed=0),
+            algorithm_factory=lambda: RandomSearch(
+                small_space(), num_samples=4, seed=0
+            ),
             objective=accuracy_objective,
             system_policy="v1",
         )
@@ -89,7 +93,9 @@ class TestV1Policy:
     def test_result_counters(self):
         spec = HptJobSpec(
             workload=LENET_MNIST,
-            algorithm_factory=lambda: RandomSearch(small_space(), num_samples=5, seed=0),
+            algorithm_factory=lambda: RandomSearch(
+                small_space(), num_samples=5, seed=0
+            ),
         )
         result = run_job(spec)
         assert result.num_trials == 5
@@ -102,7 +108,9 @@ class TestV2Policy:
     def test_trials_use_sampled_system(self):
         spec = HptJobSpec(
             workload=LENET_MNIST,
-            algorithm_factory=lambda: RandomSearch(joint_space(), num_samples=6, seed=0),
+            algorithm_factory=lambda: RandomSearch(
+                joint_space(), num_samples=6, seed=0
+            ),
             objective=accuracy_per_time_objective,
             system_policy="v2",
         )
@@ -113,7 +121,9 @@ class TestV2Policy:
     def test_v2_requires_system_dims(self):
         spec = HptJobSpec(
             workload=LENET_MNIST,
-            algorithm_factory=lambda: RandomSearch(small_space(), num_samples=2, seed=0),
+            algorithm_factory=lambda: RandomSearch(
+                small_space(), num_samples=2, seed=0
+            ),
             system_policy="v2",
         )
         env = Environment()
@@ -129,7 +139,9 @@ class TestV2Policy:
 
         spec = HptJobSpec(
             workload=LENET_MNIST,
-            algorithm_factory=lambda: RandomSearch(joint_space(), num_samples=6, seed=1),
+            algorithm_factory=lambda: RandomSearch(
+                joint_space(), num_samples=6, seed=1
+            ),
             system_policy="v2",
         )
         result = run_job(spec, cluster_factory=tiny_cluster)
@@ -143,7 +155,9 @@ class TestConcurrencyAndTimeline:
         def spec(concurrent):
             return HptJobSpec(
                 workload=LENET_MNIST,
-                algorithm_factory=lambda: RandomSearch(small_space(), num_samples=4, seed=0),
+                algorithm_factory=lambda: RandomSearch(
+                    small_space(), num_samples=4, seed=0
+                ),
                 max_concurrent=concurrent,
             )
 
@@ -154,7 +168,9 @@ class TestConcurrencyAndTimeline:
     def test_timeline_monotone(self):
         spec = HptJobSpec(
             workload=LENET_MNIST,
-            algorithm_factory=lambda: RandomSearch(small_space(), num_samples=6, seed=0),
+            algorithm_factory=lambda: RandomSearch(
+                small_space(), num_samples=6, seed=0
+            ),
         )
         result = run_job(spec)
         times = [p.wall_time_s for p in result.timeline]
@@ -177,7 +193,9 @@ class TestConcurrencyAndTimeline:
         def spec(setup):
             return HptJobSpec(
                 workload=LENET_MNIST,
-                algorithm_factory=lambda: RandomSearch(small_space(), num_samples=4, seed=0),
+                algorithm_factory=lambda: RandomSearch(
+                    small_space(), num_samples=4, seed=0
+                ),
                 trial_setup_s=setup,
                 max_concurrent=1,
             )
@@ -232,8 +250,12 @@ class TestObjectives:
         assert weaker_fast > accurate_slow
 
     def test_system_objectives(self):
-        assert runtime_system_objective(10.0, 100.0) > runtime_system_objective(20.0, 100.0)
-        assert energy_system_objective(10.0, 100.0) > energy_system_objective(10.0, 200.0)
+        assert runtime_system_objective(10.0, 100.0) > runtime_system_objective(
+            20.0, 100.0
+        )
+        assert energy_system_objective(10.0, 100.0) > energy_system_objective(
+            10.0, 200.0
+        )
         with pytest.raises(ValueError):
             runtime_system_objective(0.0, 1.0)
         with pytest.raises(ValueError):

@@ -14,7 +14,8 @@ from repro.workloads.spec import HyperParams, SystemParams
 def make_env(nodes=1, cores=16, memory=64.0):
     env = Environment()
     cluster = SimCluster(
-        env, [NodeSpec(name=f"n{i}", cores=cores, memory_gb=memory) for i in range(nodes)]
+        env,
+        [NodeSpec(name=f"n{i}", cores=cores, memory_gb=memory) for i in range(nodes)],
     )
     return env, cluster
 
@@ -124,7 +125,11 @@ class TestEnergyAccounting:
 
         run(env, cluster, hooks=Grab())
         energy = trial_energy_j(
-            LENET_MNIST, SystemParams(cores=4, memory_gb=16.0), Grab.allocation, 4.0, 10.0
+            LENET_MNIST,
+            SystemParams(cores=4, memory_gb=16.0),
+            Grab.allocation,
+            4.0,
+            10.0,
         )
         spec = Grab.allocation.node.spec
         expected = (4.0 * spec.core_watts + spec.idle_watts * 4 / spec.cores) * 10.0

@@ -9,14 +9,17 @@ results: records, accumulated time/energy, end times, node state, and
 the exact same semantics under a mid-window interrupt.
 """
 
+import numpy as np
 import pytest
 
 from repro.simulation.cluster import NodeSpec, SimCluster
 from repro.simulation.des import Environment, Interrupt
 from repro.telemetry.recorder import MetricsRecorder
 from repro.tune.trainer import TrialHooks, run_trial
-from repro.workloads.registry import LENET_MNIST
-from repro.workloads.spec import HyperParams, SystemParams
+from repro.workloads.accuracy import accuracy_at_epoch
+from repro.workloads.perfmodel import epoch_cost
+from repro.workloads.registry import CNN_NEWS20, LENET_MNIST
+from repro.workloads.spec import HyperParams, SystemParams, stable_seed
 
 
 class PerEpochHooks(TrialHooks):
@@ -50,13 +53,15 @@ def fresh_cluster():
     return env, cluster
 
 
-def start_trial(env, cluster, hooks, epochs=8, trial_id="t0", **kwargs):
+def start_trial(
+    env, cluster, hooks, epochs=8, trial_id="t0", workload=LENET_MNIST, **kwargs
+):
     return env.process(
         run_trial(
             env=env,
             cluster=cluster,
             trial_id=trial_id,
-            workload=LENET_MNIST,
+            workload=workload,
             hyper=HyperParams(batch_size=64, epochs=epochs),
             system=SystemParams(cores=8, memory_gb=16.0),
             hooks=hooks,
@@ -78,11 +83,18 @@ def record_tuple(record):
 
 
 class TestCoalescedEquivalence:
-    def test_results_bit_identical_to_per_epoch_stepping(self):
+    # Parametrized over both an image and an embedding (NLP) workload:
+    # the Philox stream swap re-keyed every epoch-noise draw, so the
+    # coalesce equivalence is re-proven against the new streams rather
+    # than only on the workload it was originally validated with.
+    @pytest.mark.parametrize(
+        "workload", [LENET_MNIST, CNN_NEWS20], ids=lambda w: w.name
+    )
+    def test_results_bit_identical_to_per_epoch_stepping(self, workload):
         results = {}
         for label, hooks in (("coalesced", TrialHooks()), ("stepped", PerEpochHooks())):
             env, cluster = fresh_cluster()
-            process = start_trial(env, cluster, hooks)
+            process = start_trial(env, cluster, hooks, workload=workload)
             env.run()
             results[label] = (process.value, env.now)
 
@@ -185,6 +197,41 @@ class TestInterruptDuringCoalescedRunout:
             )
         assert outcomes["coalesced"] == outcomes["stepped"]
 
+    def test_interrupt_reconstruction_reproven_on_nlp_workload(self):
+        """Mid-window reconstruction re-proven post-swap on an
+        embedding workload whose streams the re-keying also moved."""
+        outcomes = {}
+        for label, hooks_cls in (
+            ("coalesced", ContextCapture),
+            ("stepped", PerEpochContextCapture),
+        ):
+            env, cluster = fresh_cluster()
+            hooks = hooks_cls()
+            process = start_trial(env, cluster, hooks, epochs=6, workload=CNN_NEWS20)
+
+            probe_env, probe_cluster = fresh_cluster()
+            probe = start_trial(
+                probe_env, probe_cluster, PerEpochHooks(), epochs=6,
+                workload=CNN_NEWS20,
+            )
+            probe_env.run()
+            span = probe.value.end_time - probe.value.start_time
+
+            def interrupter(target, at):
+                yield env.timeout(at)
+                target.interrupt("stop")
+
+            env.process(interrupter(process, 0.6 * span))
+            env.run()
+            assert not process.ok
+            node = cluster.nodes[0]
+            outcomes[label] = (
+                [record_tuple(r) for r in hooks.ctx.records],
+                node.active_cores,
+                env.now,
+            )
+        assert outcomes["coalesced"] == outcomes["stepped"]
+
     def test_interrupted_records_are_prefix_of_full_run(self):
         env, cluster = fresh_cluster()
         hooks = ContextCapture()
@@ -205,3 +252,55 @@ class TestInterruptDuringCoalescedRunout:
         reference = [record_tuple(r) for r in full.value.records]
         assert 0 < len(records) < len(reference)
         assert records == reference[: len(records)]
+
+
+class TestPhiloxStreamDerivation:
+    """Prove the trainer's per-epoch noise comes from the reference
+    counter-keyed Philox streams, not merely from *some* deterministic
+    source: every record of a coalesced trial is reconstructed
+    bit-exactly with ``Generator(Philox(key=stable_seed(...)))`` built
+    by hand, replaying the exact float operations of the models."""
+
+    @pytest.mark.parametrize(
+        "workload", [LENET_MNIST, CNN_NEWS20], ids=lambda w: w.name
+    )
+    def test_records_reconstruct_from_reference_streams(self, workload):
+        epochs = 5
+        env, cluster = fresh_cluster()
+        hooks = ContextCapture()
+        process = start_trial(env, cluster, hooks, epochs=epochs, workload=workload)
+        env.run()
+        result = process.value
+        trial_seed = stable_seed("trial", "t0", workload.name)
+        hyper = HyperParams(batch_size=64, epochs=epochs)
+        system = SystemParams(cores=8, memory_gb=16.0)
+        config = hooks.ctx.config
+
+        for record in result.records:
+            acc_rng = np.random.Generator(
+                np.random.Philox(
+                    key=stable_seed(
+                        workload.name, "acc-noise", hyper, trial_seed, record.epoch
+                    )
+                )
+            )
+            noiseless = accuracy_at_epoch(
+                workload, hyper, record.epoch, trial_seed=trial_seed, noisy=False
+            )
+            expected_accuracy = min(
+                1.0, max(0.0, noiseless + acc_rng.normal(0.0, workload.accuracy_noise))
+            )
+            assert record.accuracy == expected_accuracy  # bit-exact
+
+            time_rng = np.random.Generator(
+                np.random.Philox(
+                    key=stable_seed(
+                        workload.name, "epoch-noise", hyper, system, record.epoch
+                    )
+                )
+            )
+            noiseless_s = epoch_cost(config, epoch=record.epoch, noisy=False).total_s
+            expected_duration = noiseless_s * max(
+                0.5, 1.0 + time_rng.normal(0.0, workload.runtime_noise)
+            )
+            assert record.duration_s == expected_duration  # bit-exact

@@ -115,10 +115,18 @@ class TestStore:
         store = TimeSeriesStore()
         for t, v in ((0.0, 1.0), (1.0, 5.0), (2.0, 3.0)):
             store.write(pt(time=t, value=v))
-        assert store.aggregate_windows("power", "value", 10.0, agg="max") == [(0.0, 5.0)]
-        assert store.aggregate_windows("power", "value", 10.0, agg="min") == [(0.0, 1.0)]
-        assert store.aggregate_windows("power", "value", 10.0, agg="sum") == [(0.0, 9.0)]
-        assert store.aggregate_windows("power", "value", 10.0, agg="count") == [(0.0, 3)]
+        assert store.aggregate_windows("power", "value", 10.0, agg="max") == [
+            (0.0, 5.0)
+        ]
+        assert store.aggregate_windows("power", "value", 10.0, agg="min") == [
+            (0.0, 1.0)
+        ]
+        assert store.aggregate_windows("power", "value", 10.0, agg="sum") == [
+            (0.0, 9.0)
+        ]
+        assert store.aggregate_windows("power", "value", 10.0, agg="count") == [
+            (0.0, 3)
+        ]
 
     def test_aggregate_validation(self):
         store = TimeSeriesStore()

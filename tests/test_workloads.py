@@ -182,10 +182,14 @@ class TestPerfModel:
         ws = working_set_gb(LENET_MNIST, HyperParams(batch_size=1024))
         assert ws > 4.0
         assert memory_penalty(
-            LENET_MNIST, HyperParams(batch_size=1024), SystemParams(cores=4, memory_gb=4.0)
+            LENET_MNIST,
+            HyperParams(batch_size=1024),
+            SystemParams(cores=4, memory_gb=4.0),
         ) > 1.0
         assert memory_penalty(
-            LENET_MNIST, HyperParams(batch_size=1024), SystemParams(cores=4, memory_gb=32.0)
+            LENET_MNIST,
+            HyperParams(batch_size=1024),
+            SystemParams(cores=4, memory_gb=32.0),
         ) == 1.0
 
     def test_embedding_increases_working_set(self):
@@ -204,7 +208,9 @@ class TestPerfModel:
 
     def test_training_time_sums_epochs(self):
         cfg = TrialConfig(
-            LENET_MNIST, HyperParams(batch_size=64, epochs=5), SystemParams(cores=4, memory_gb=16)
+            LENET_MNIST,
+            HyperParams(batch_size=64, epochs=5),
+            SystemParams(cores=4, memory_gb=16),
         )
         total = training_time(cfg, noisy=False)
         per_epoch = [epoch_time(cfg, epoch=e, noisy=False) for e in range(5)]
@@ -249,7 +255,9 @@ class TestAccuracyModel:
 
     def test_embedding_penalty_only_for_nlp(self):
         assert embedding_penalty(LENET_MNIST, 50) == 1.0
-        assert embedding_penalty(CNN_NEWS20, CNN_NEWS20.embedding_opt) == pytest.approx(1.0)
+        assert embedding_penalty(CNN_NEWS20, CNN_NEWS20.embedding_opt) == pytest.approx(
+            1.0
+        )
         assert embedding_penalty(CNN_NEWS20, 50) < 1.0
 
     def test_curve_monotone_without_noise(self):
