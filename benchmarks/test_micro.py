@@ -198,6 +198,34 @@ def test_tsdb_window_aggregation(benchmark):
     assert benchmark(run) == 667 + 445 + 167
 
 
+def test_tsdb_tagged_window(benchmark):
+    """Per-node (tagged) windowing over a 20k-point measurement: the
+    ROADMAP per-node power query pattern, served from tagged
+    sub-columns instead of a Python point scan."""
+    store = TimeSeriesStore()
+    for t in range(20_000):
+        store.write(
+            Point(
+                measurement="power",
+                time=float(t),
+                tags={"node": f"n{t % 4}"},
+                fields={"watts": 60.0 + (t * 37) % 101},
+            )
+        )
+
+    def run():
+        total = 0
+        for node in ("n0", "n1", "n2", "n3"):
+            total += len(
+                store.aggregate_windows(
+                    "power", "watts", window_s=30.0, agg="mean", tags={"node": node}
+                )
+            )
+        return total
+
+    assert benchmark(run) == 4 * 667
+
+
 def test_tsdb_window_query(benchmark):
     store = TimeSeriesStore()
     for t in range(5_000):

@@ -24,7 +24,7 @@ from repro import (
     RandomSearch,
     WorkloadSpec,
 )
-from repro.experiments.harness import execute_job, make_pipetune_session
+from repro.scenarios import execute_job, make_pipetune_session
 from repro.hpo.space import Choice, LogUniform, SearchSpace, Uniform
 
 RESNET_CIFAR = WorkloadSpec(

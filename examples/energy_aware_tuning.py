@@ -17,7 +17,7 @@ import sys
 
 from repro import LENET_FASHION, type12_workloads
 from repro.core import PipeTuneConfig
-from repro.experiments.harness import (
+from repro.scenarios import (
     fresh_cluster,
     make_pipetune_session,
     make_pipetune_spec,

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Multi-tenant scenario: a shared cluster serving arriving HPT jobs.
 
-Generates a Poisson arrival trace mixing Type-I (image) and Type-II
-(NLP) tuning jobs — 20 % of them unseen workload variants — and runs
-it under Tune V1 and under PipeTune with one shared session. Prints
-per-job response times and the aggregate comparison (paper Fig 13
+Declares a shared-tenancy scenario — Poisson arrivals mixing Type-I
+(image) and Type-II (NLP) tuning jobs, 20 % of them unseen workload
+variants — compared under Tune V1 and under PipeTune with one shared
+session. Runs it through the scenario API's explicit phases and prints
+per-job response times plus the aggregate comparison (paper Fig 13
 style).
 
 Usage::
@@ -14,44 +15,39 @@ Usage::
 
 import sys
 
-from repro.experiments.harness import (
-    fresh_cluster,
-    make_pipetune_session,
-    make_pipetune_spec,
-    make_v1_spec,
-)
-from repro.multitenancy import generate_arrivals, run_multi_tenancy
-from repro.workloads import type12_workloads, workloads_of_type
+from repro.scenarios import Scenario, ScenarioRunner, pipetune, tune_v1
 
 
-def run_system(system: str, num_jobs: int, seed: int):
-    env, cluster = fresh_cluster(distributed=True)
-    arrivals = generate_arrivals(
-        [workloads_of_type("I"), workloads_of_type("II")],
-        num_jobs=num_jobs,
-        mean_interarrival_s=1200.0,
-        unseen_fraction=0.2,
-        seed=seed,
+def build_scenario(num_jobs: int) -> Scenario:
+    return (
+        Scenario.builder("multi-tenant-example")
+        .title("Shared 4-node cluster: Tune V1 vs PipeTune")
+        .paper_cluster(distributed=True)
+        .workloads_of_type("I", "II")
+        .algorithm("hyperband", max_epochs=9, eta=3)
+        .compare(tune_v1(), pipetune())
+        .multi_tenant(
+            num_jobs=num_jobs,
+            mean_interarrival_s=1200.0,
+            unseen_fraction=0.2,
+            max_concurrent_jobs=2,
+            min_jobs=1,
+        )
+        .build()
     )
-    if system == "pipetune":
-        session = make_pipetune_session(distributed=True, seed=seed)
-        session.warm_start(type12_workloads())
-        factory = lambda workload, arrival: make_pipetune_spec(  # noqa: E731
-            session, workload, seed=seed + arrival.index
-        )
-    else:
-        factory = lambda workload, arrival: make_v1_spec(  # noqa: E731
-            workload, seed=seed + arrival.index
-        )
-    return run_multi_tenancy(env, cluster, arrivals, factory, max_concurrent_jobs=2)
 
 
 def main(num_jobs: int = 8, seed: int = 0) -> None:
+    runner = ScenarioRunner(build_scenario(num_jobs))
+    plan = runner.plan(scale=1.0, seed=seed)
+    runner.validate(plan)
+    outcomes = runner.execute(plan)
+
     traces = {}
-    for system in ("tune-v1", "pipetune"):
-        print(f"=== {system} ===")
-        trace = run_multi_tenancy_trace = run_system(system, num_jobs, seed)
+    for step, trace in zip(plan.steps, outcomes):
+        system = step.policy.label
         traces[system] = trace
+        print(f"=== {system} ===")
         for record in sorted(trace.records, key=lambda r: r.arrival.arrival_time_s):
             tag = " (unseen)" if record.arrival.unseen else ""
             print(

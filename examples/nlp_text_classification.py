@@ -15,7 +15,7 @@ Usage::
 import sys
 
 from repro import CNN_NEWS20, LSTM_NEWS20, PipeTuneConfig
-from repro.experiments.harness import (
+from repro.scenarios import (
     execute_job,
     make_pipetune_session,
     make_pipetune_spec,

@@ -15,7 +15,7 @@ Usage::
 import sys
 
 from repro import CNN_NEWS20, Environment, paper_distributed_cluster, run_hpt_job
-from repro.experiments.harness import make_v2_spec
+from repro.scenarios import make_v2_spec
 from repro.report import bar_chart, comparison_summary, convergence_chart
 from repro.telemetry import MetricsRecorder
 

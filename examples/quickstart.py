@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
 """Quickstart: tune LeNet/MNIST with PipeTune on a simulated cluster.
 
-Runs one hyperparameter-tuning job three ways — Tune V1 (accuracy
-only, fixed system parameters), Tune V2 (system parameters as extra
-hyperparameters) and PipeTune (pipelined system tuning) — and prints
-the accuracy / training-time / tuning-time comparison of the paper's
-Table 2.
+Declares one scenario — Tune V1 (accuracy only, fixed system
+parameters), Tune V2 (system parameters as extra hyperparameters) and
+PipeTune (pipelined system tuning) compared on the paper's 4-node
+testbed — and runs it through the scenario API's explicit
+plan -> validate -> execute -> collect phases, printing the accuracy /
+training-time / tuning-time comparison of the paper's Table 2.
 
 Usage::
 
@@ -14,35 +15,39 @@ Usage::
 
 import sys
 
-from repro import LENET_MNIST, PipeTuneSession, type12_workloads
-from repro.experiments.harness import (
-    execute_job,
-    make_pipetune_session,
-    make_pipetune_spec,
-    make_v1_spec,
-    make_v2_spec,
+from repro.scenarios import Scenario, ScenarioRunner, pipetune, tune_v1, tune_v2
+
+SCENARIO = (
+    Scenario.builder("quickstart")
+    .title("Tune V1 vs Tune V2 vs PipeTune on LeNet/MNIST")
+    .paper_cluster(distributed=True)
+    .workloads("lenet-mnist")
+    .algorithm("hyperband", max_epochs=9, eta=3)
+    .compare(
+        tune_v1(label="Tune V1"),
+        tune_v2(label="Tune V2"),
+        pipetune(label="PipeTune"),
+    )
+    .repetitions(1)
+    .build()
 )
 
 
 def main(seed: int = 0) -> None:
-    print(f"Tuning {LENET_MNIST.name} (seed={seed}) on a simulated 4-node cluster\n")
+    print(f"Tuning lenet-mnist (seed={seed}) on a simulated 4-node cluster\n")
 
-    rows = []
+    runner = ScenarioRunner(SCENARIO)
+    plan = runner.plan(scale=1.0, seed=seed)
+    runner.validate(plan)
+    outcomes = runner.execute(plan)
 
-    v1 = execute_job(make_v1_spec(LENET_MNIST, seed=seed))
-    rows.append(("Tune V1", v1))
-
-    v2 = execute_job(make_v2_spec(LENET_MNIST, seed=seed))
-    rows.append(("Tune V2", v2))
-
-    # PipeTune keeps a session across jobs: its ground-truth database
-    # is warm-started from the paper's offline profiling campaign.
-    session = make_pipetune_session(distributed=True, seed=seed)
-    session.warm_start(type12_workloads())
-    pipetune = execute_job(make_pipetune_spec(session, LENET_MNIST, seed=seed))
-    rows.append(("PipeTune", pipetune))
-
-    header = f"{'approach':<10} {'accuracy':>9} {'training[s]':>12} {'tuning[s]':>10} {'trials':>7}"
+    rows = [
+        (step.policy.label, result) for step, result in zip(plan.steps, outcomes)
+    ]
+    header = (
+        f"{'approach':<10} {'accuracy':>9} {'training[s]':>12} "
+        f"{'tuning[s]':>10} {'trials':>7}"
+    )
     print(header)
     print("-" * len(header))
     for name, result in rows:
@@ -52,17 +57,21 @@ def main(seed: int = 0) -> None:
             f"{result.num_trials:>7d}"
         )
 
+    by_label = dict(rows)
+    v1, pipetune_result = by_label["Tune V1"], by_label["PipeTune"]
+    best_hyper = pipetune_result.best_hyper
     print(
-        f"\nPipeTune best hyperparameters: batch={pipetune.best_hyper.batch_size} "
-        f"lr={pipetune.best_hyper.learning_rate:.4f} "
-        f"dropout={pipetune.best_hyper.dropout:.2f}"
+        f"\nPipeTune best hyperparameters: batch={best_hyper.batch_size} "
+        f"lr={best_hyper.learning_rate:.4f} "
+        f"dropout={best_hyper.dropout:.2f}"
     )
     print(
-        f"PipeTune best system parameters: {pipetune.best_system.cores} cores, "
-        f"{pipetune.best_system.memory_gb:.0f} GB"
+        f"PipeTune best system parameters: {pipetune_result.best_system.cores} cores, "
+        f"{pipetune_result.best_system.memory_gb:.0f} GB"
     )
+    session = runner.sessions["PipeTune"]
     print(f"Ground-truth hit rate: {session.stats.hit_rate:.0%}")
-    saved = 100 * (1 - pipetune.tuning_time_s / v1.tuning_time_s)
+    saved = 100 * (1 - pipetune_result.tuning_time_s / v1.tuning_time_s)
     print(f"Tuning time vs Tune V1: {saved:+.1f}% " + ("(saved)" if saved > 0 else ""))
 
 

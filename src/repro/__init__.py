@@ -31,7 +31,10 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.core`      — PipeTune itself (profiling/ground truth/probing)
 * :mod:`repro.multitenancy` — FIFO multi-job scheduling
 * :mod:`repro.ec2`       — Fig 1 cost model
-* :mod:`repro.experiments` — one module per paper table/figure
+* :mod:`repro.scenarios` — declarative scenario API + registry (the
+  front door: every paper exhibit and novel experiment is a declared
+  scenario run by the ScenarioRunner)
+* :mod:`repro.experiments` — exhibit shims + golden-trace harness
 """
 
 from .core import (
@@ -42,6 +45,14 @@ from .core import (
     PipeTuneHooks,
     PipeTuneSession,
     ProbingController,
+)
+from .scenarios import (
+    SCENARIO_REGISTRY,
+    Scenario,
+    ScenarioBuilder,
+    ScenarioError,
+    ScenarioRunner,
+    run_scenario,
 )
 from .hpo import (
     BayesianOptimisation,
@@ -118,6 +129,11 @@ __all__ = [
     "PopulationBasedTraining",
     "ProbingController",
     "RandomSearch",
+    "SCENARIO_REGISTRY",
+    "Scenario",
+    "ScenarioBuilder",
+    "ScenarioError",
+    "ScenarioRunner",
     "SearchSpace",
     "SimCluster",
     "SystemParams",
@@ -134,6 +150,7 @@ __all__ = [
     "paper_single_node",
     "paper_system_space",
     "run_hpt_job",
+    "run_scenario",
     "run_trial",
     "type12_workloads",
     "workloads_of_type",

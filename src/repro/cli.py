@@ -1,33 +1,70 @@
-"""Command-line interface: list and run the paper's exhibits.
+"""Command-line interface: scenarios, paper exhibits, one-off tuning.
 
-Usage::
+The scenario API is the front door::
+
+    python -m repro.cli scenario list [--json]
+    python -m repro.cli scenario describe fig11 [--json]
+    python -m repro.cli scenario run bursty-tenants-oom --scale 0.4 --json
+    python -m repro.cli scenario run fig09 --check   # diff vs golden trace
+
+Legacy entry points stay available::
 
     python -m repro.cli list
     python -m repro.cli run table2 --scale 0.5 --seed 1
-    python -m repro.cli run all --scale 0.34 --out results/
     python -m repro.cli tune lenet-mnist --system pipetune
 
-Exit status is non-zero on unknown exhibits/workloads so the CLI is
+``run ... --out`` writes tables through the golden-trace serializer
+and refuses (without ``--force``) to write files named like the
+committed exhibits at non-canonical parameters. Exit status is
+non-zero on unknown scenarios/exhibits/workloads so the CLI is
 scriptable.
 """
 
 from __future__ import annotations
 
 import argparse
-import os
+import difflib
+import json
 import sys
 import time
 from typing import List, Optional
 
-from .experiments import EXHIBITS
-from .experiments.harness import (
+import numpy as np
+
+from .experiments import EXHIBIT_RUNS, EXHIBITS, golden
+from .scenarios import (
+    SCENARIO_REGISTRY,
+    ScenarioError,
     execute_job,
+    get_definition,
     make_pipetune_session,
     make_pipetune_spec,
     make_v1_spec,
     make_v2_spec,
 )
 from .workloads.registry import ALL_WORKLOADS, get_workload, type12_workloads
+
+
+def _jsonify(value):
+    """JSON-safe copy: numpy scalars -> Python, containers recursed."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def _print_json(payload) -> None:
+    print(json.dumps(_jsonify(payload), indent=2, sort_keys=True))
+
+
+# ---------------------------------------------------------------------------
+# Legacy exhibit commands
+# ---------------------------------------------------------------------------
 
 
 def _cmd_list(_args) -> int:
@@ -51,18 +88,56 @@ def _cmd_run(args) -> int:
             file=sys.stderr,
         )
         return 2
+    # Unspecified --scale/--seed resolve per exhibit: the canonical
+    # golden-trace parameters when writing --out (so `run all --out`
+    # reproduces the committed files exactly), 1.0/0 otherwise.
+    def resolve(key):
+        canonical = EXHIBIT_RUNS[key]
+        scale = args.scale
+        if scale is None:
+            scale = canonical.scale if args.out else 1.0
+        seed = args.seed
+        if seed is None:
+            seed = canonical.seed if args.out else 0
+        return scale, seed
+
     if args.out:
-        os.makedirs(args.out, exist_ok=True)
+        # the committed exhibits regenerate only at their canonical
+        # parameters; refuse to write identically-named files from an
+        # explicitly different (scale, seed) unless the user forces it.
+        mismatched = [
+            key
+            for key in keys
+            if resolve(key) != (EXHIBIT_RUNS[key].scale, EXHIBIT_RUNS[key].seed)
+        ]
+        if mismatched and not args.force:
+            canonical = ", ".join(
+                f"{k}=(scale {EXHIBIT_RUNS[k].scale}, seed {EXHIBIT_RUNS[k].seed})"
+                for k in mismatched
+            )
+            print(
+                f"refusing --out at non-canonical parameters for {mismatched} "
+                f"(canonical: {canonical}); files under --out are named like "
+                "the committed golden traces. Re-run with --force to write "
+                "anyway, or drop --scale/--seed overrides.",
+                file=sys.stderr,
+            )
+            return 2
+        if mismatched:
+            print(
+                f"warning: writing {mismatched} at non-canonical parameters "
+                "(--force)",
+                file=sys.stderr,
+            )
     for key in keys:
+        scale, seed = resolve(key)
         started = time.time()
-        result = EXHIBITS[key].run(scale=args.scale, seed=args.seed)
+        result = EXHIBITS[key].run(scale=scale, seed=seed)
         table = result.format_table()
         print(table)
         print(f"[{key}: {time.time() - started:.1f}s]\n")
         if args.out:
-            path = os.path.join(args.out, f"{key}.txt")
-            with open(path, "w", encoding="utf-8") as handle:
-                handle.write(table + "\n")
+            golden.write_trace(key, golden.render_result(result), args.out)
     return 0
 
 
@@ -98,6 +173,195 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Scenario commands
+# ---------------------------------------------------------------------------
+
+
+def _scenario_summary(definition) -> dict:
+    scenario = definition.scenario
+    return {
+        "name": scenario.name,
+        "source": definition.source,
+        "kind": scenario.kind,
+        "exhibit": scenario.exhibit,
+        "title": scenario.title,
+        "description": scenario.description,
+        "workloads": list(scenario.workloads),
+        "systems": [policy.label for policy in scenario.systems],
+        "algorithm": scenario.algorithm.name,
+        "tenancy": scenario.tenancy.mode,
+        "repetitions": scenario.repetitions,
+    }
+
+
+def _cmd_scenario_list(args) -> int:
+    if args.json:
+        _print_json([_scenario_summary(d) for d in SCENARIO_REGISTRY.values()])
+        return 0
+    width = max(len(name) for name in SCENARIO_REGISTRY)
+    for name, definition in SCENARIO_REGISTRY.items():
+        scenario = definition.scenario
+        title = scenario.title or scenario.description
+        print(f"{name:<{width}}  [{definition.source:<5}]  {title}")
+    return 0
+
+
+def _get_definition_or_fail(name: str):
+    try:
+        return get_definition(name)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return None
+
+
+def _cmd_scenario_describe(args) -> int:
+    definition = _get_definition_or_fail(args.name)
+    if definition is None:
+        return 2
+    runner = definition.runner()
+    plan = runner.plan(scale=args.scale, seed=args.seed)
+    if args.json:
+        _print_json(
+            {
+                "source": definition.source,
+                "scenario": definition.scenario.as_dict(),
+                "plan": {
+                    "scale": plan.scale,
+                    "seed": plan.seed,
+                    "seeds": list(plan.seeds),
+                    "steps": plan.describe(),
+                },
+            }
+        )
+        return 0
+    scenario = definition.scenario
+    print(f"scenario   : {scenario.name} [{definition.source}]")
+    if scenario.exhibit:
+        print(f"exhibit    : {scenario.exhibit}")
+    if scenario.title:
+        print(f"title      : {scenario.title}")
+    if scenario.description:
+        print(f"about      : {scenario.description}")
+    print(f"kind       : {scenario.kind}")
+    print(
+        f"cluster    : {scenario.cluster.nodes} node(s), "
+        f"{scenario.cluster.cores_per_node} cores / "
+        f"{scenario.cluster.memory_gb_per_node:g} GB each"
+    )
+    print(f"workloads  : {', '.join(scenario.workloads) or '-'}")
+    print(f"algorithm  : {scenario.algorithm.name} {dict(scenario.algorithm.params)}")
+    print(f"systems    : {', '.join(p.label for p in scenario.systems) or '-'}")
+    print(f"tenancy    : {scenario.tenancy.mode}")
+    if scenario.tenancy.shared:
+        tenancy = scenario.tenancy
+        print(
+            f"arrivals   : {tenancy.num_jobs} jobs, mean interarrival "
+            f"{tenancy.mean_interarrival_s:g}s, {tenancy.unseen_fraction:.0%} "
+            f"unseen, {tenancy.max_concurrent_jobs} concurrent"
+        )
+    if scenario.failures.oom_threshold is not None:
+        print(f"failures   : OOM at {scenario.failures.oom_threshold:g}x memory")
+    print(f"repetitions: {scenario.repetitions}")
+    print(f"plan       : {len(plan.steps)} step(s) at scale {plan.scale}")
+    for line in plan.describe():
+        print(f"  {line}")
+    return 0
+
+
+def _cmd_scenario_run(args) -> int:
+    definition = _get_definition_or_fail(args.name)
+    if definition is None:
+        return 2
+    if args.check:
+        return _scenario_check(args.name)
+    canonical = EXHIBIT_RUNS.get(args.name)
+    scale, seed = args.scale, args.seed
+    if scale is None:
+        scale = canonical.scale if (args.out and canonical is not None) else 1.0
+    if seed is None:
+        seed = canonical.seed if (args.out and canonical is not None) else 0
+    if args.out:
+        if canonical is not None and (scale, seed) != (
+            canonical.scale,
+            canonical.seed,
+        ):
+            if not args.force:
+                print(
+                    f"refusing --out: {args.name} is a committed exhibit and "
+                    f"(scale {scale}, seed {seed}) differs from its canonical "
+                    f"(scale {canonical.scale}, seed {canonical.seed}); "
+                    "re-run with --force to write anyway.",
+                    file=sys.stderr,
+                )
+                return 2
+            print(
+                f"warning: writing {args.name} at non-canonical parameters "
+                "(--force)",
+                file=sys.stderr,
+            )
+    runner = definition.runner()
+    started = time.time()
+    try:
+        result = runner.run(scale=scale, seed=seed)
+    except ScenarioError as error:
+        print(error, file=sys.stderr)
+        return 2
+    elapsed = time.time() - started
+    if args.json:
+        _print_json(
+            {
+                "scenario": args.name,
+                "source": definition.source,
+                "scale": scale,
+                "seed": seed,
+                "elapsed_s": round(elapsed, 3),
+                "result": result.as_dict(),
+            }
+        )
+    else:
+        print(result.format_table())
+        print(f"[{args.name}: {elapsed:.1f}s]")
+    if args.out:
+        path = golden.write_trace(args.name, golden.render_result(result), args.out)
+        if not args.json:
+            print(f"wrote {path}")
+    return 0
+
+
+def _scenario_check(name: str) -> int:
+    """Re-run a committed exhibit scenario at its canonical parameters
+    and byte-diff the rendered table against the golden trace."""
+    if name not in EXHIBIT_RUNS:
+        print(
+            f"{name!r} has no committed golden trace (only the paper "
+            f"exhibits do: {', '.join(EXHIBIT_RUNS)})",
+            file=sys.stderr,
+        )
+        return 2
+    diff = golden.check([name])[name]
+    print(f"{name}: {diff.status}")
+    if diff.status == "ok":
+        return 0
+    if diff.committed_exists:
+        committed_path = golden.committed_path(name)
+        with open(committed_path, "r", encoding="utf-8", newline="") as handle:
+            committed = handle.read()
+        for line in difflib.unified_diff(
+            committed.splitlines(keepends=True),
+            diff.regenerated.splitlines(keepends=True),
+            fromfile=f"committed/{name}.txt",
+            tofile=f"regenerated/{name}.txt",
+        ):
+            sys.stderr.write(line)
+    return 1
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="PipeTune reproduction command line"
@@ -110,9 +374,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="regenerate one exhibit (or 'all')")
     run.add_argument("exhibit", help="fig01..fig14, table2 or 'all'")
-    run.add_argument("--scale", type=float, default=1.0)
-    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="fidelity factor (default 1.0; with --out, each exhibit's "
+        "canonical scale)",
+    )
+    run.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base seed (default 0; with --out, each exhibit's canonical seed)",
+    )
     run.add_argument("--out", help="directory to write rendered tables to")
+    run.add_argument(
+        "--force",
+        action="store_true",
+        help="allow --out at non-canonical --scale/--seed",
+    )
     run.set_defaults(func=_cmd_run)
 
     tune = sub.add_parser("tune", help="tune one workload with one system")
@@ -124,6 +404,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tune.add_argument("--seed", type=int, default=0)
     tune.set_defaults(func=_cmd_tune)
+
+    scenario = sub.add_parser(
+        "scenario", help="declarative scenario API (list/describe/run)"
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    s_list = scenario_sub.add_parser("list", help="list registered scenarios")
+    s_list.add_argument("--json", action="store_true", help="structured output")
+    s_list.set_defaults(func=_cmd_scenario_list)
+
+    s_desc = scenario_sub.add_parser(
+        "describe", help="show one scenario's declaration and plan"
+    )
+    s_desc.add_argument("name")
+    s_desc.add_argument("--scale", type=float, default=1.0)
+    s_desc.add_argument("--seed", type=int, default=0)
+    s_desc.add_argument("--json", action="store_true", help="structured output")
+    s_desc.set_defaults(func=_cmd_scenario_describe)
+
+    s_run = scenario_sub.add_parser("run", help="run one scenario")
+    s_run.add_argument("name")
+    s_run.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="fidelity factor (default 1.0; with --out on a paper exhibit, "
+        "its canonical scale)",
+    )
+    s_run.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base seed (default 0; with --out on a paper exhibit, its "
+        "canonical seed)",
+    )
+    s_run.add_argument("--json", action="store_true", help="structured output")
+    s_run.add_argument("--out", help="directory to write the rendered table to")
+    s_run.add_argument(
+        "--force",
+        action="store_true",
+        help="allow --out at non-canonical --scale/--seed for paper exhibits",
+    )
+    s_run.add_argument(
+        "--check",
+        action="store_true",
+        help="regenerate at canonical parameters and byte-diff against the "
+        "committed golden trace (paper exhibits only)",
+    )
+    s_run.set_defaults(func=_cmd_scenario_run)
     return parser
 
 

@@ -3,33 +3,19 @@
 Paper setup: LeNet on MNIST, 1–6 tuned parameters with up to 3 values
 each, priced on three ML-optimised EC2 instance types. Both curves
 grow exponentially — the motivation for everything that follows.
+
+Thin shim over the declared ``fig01`` scenario
+(:mod:`repro.scenarios.paper`).
 """
 
 from __future__ import annotations
 
-from ..ec2.pricing import PAPER_INSTANCES, cost_table
-from ..workloads.registry import LENET_MNIST
+from ..scenarios import run_scenario
 from .harness import ExperimentResult
 
 
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    """Regenerate Fig 1's rows (scale/seed unused: analytic exhibit)."""
-    max_params = max(1, int(round(6 * min(1.0, scale))) ) if scale < 1.0 else 6
-    parameters = list(range(1, max_params + 1))
-    result = ExperimentResult(
-        exhibit="Figure 1",
-        title="Grid-search tuning time and EC2 cost vs tuned parameters",
-        columns=["parameters", "trials"]
-        + [f"{inst.name}/hours" for inst in PAPER_INSTANCES]
-        + [f"{inst.name}/usd" for inst in PAPER_INSTANCES],
-        notes=(
-            "3 values per parameter, LeNet/MNIST; exponential growth in "
-            "both tuning hours and dollars is the claim under test"
-        ),
-    )
-    for row in cost_table(LENET_MNIST, parameters=parameters):
-        result.add_row(**row)
-    return result
+    return run_scenario("fig01", scale=scale, seed=seed)
 
 
 def exponential_growth_ratio(result: ExperimentResult, column: str) -> float:

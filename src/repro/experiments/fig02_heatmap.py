@@ -5,76 +5,20 @@ initiation phase plus 5 training epochs of a CNN model on News20 with
 16 cores and 32 GB. The claim illustrated: event occurrences repeat
 across epochs with (almost) the same magnitude, which is what makes
 one-epoch profiling representative.
+
+Thin shim over the declared ``fig02`` scenario
+(:mod:`repro.scenarios.paper`, which also hosts the measurement code).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..counters.events import EVENT_NAMES
-from ..counters.profiler import EpochProfiler
-from ..workloads.perfmodel import active_cores, epoch_cost
-from ..workloads.registry import CNN_NEWS20
-from ..workloads.spec import HyperParams, SystemParams, TrialConfig
+from ..scenarios import run_scenario
+from ..scenarios.paper import BUCKETS, bucket_label  # noqa: F401  (re-export)
 from .harness import ExperimentResult
-
-#: Fig 2's colour-scale buckets (average events per epoch).
-BUCKETS = (
-    (1e8, "> 1e8"),
-    (1e6, "1e8 - 1e6"),
-    (1e4, "1e6 - 1e4"),
-    (1e2, "1e4 - 1e2"),
-    (0.0, "< 1e2"),
-)
-
-
-def bucket_label(events_per_epoch: float) -> str:
-    for floor, label in BUCKETS:
-        if events_per_epoch >= floor and floor > 0:
-            return label
-    return BUCKETS[-1][1]
 
 
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    """Profile init + 5 epochs and tabulate per-event averages."""
-    epochs = max(2, int(round(5 * min(1.0, scale)))) if scale < 1.0 else 5
-    config = TrialConfig(
-        CNN_NEWS20,
-        HyperParams(batch_size=64, epochs=epochs),
-        SystemParams(cores=16, memory_gb=32.0),
-    )
-    profiler = EpochProfiler()
-    phases = ["init"] + [str(e) for e in range(1, epochs + 1)]
-    matrix = np.zeros((len(EVENT_NAMES), len(phases)))
-    for column, phase in enumerate(phases):
-        epoch_index = 0 if phase == "init" else int(phase)
-        cost = epoch_cost(config, epoch=epoch_index)
-        duration = cost.total_s * (0.5 if phase == "init" else 1.0)
-        busy = active_cores(config, cost) * (0.6 if phase == "init" else 1.0)
-        profile = profiler.profile_epoch(config, epoch_index, duration, busy)
-        matrix[:, column] = profile.events_per_epoch()
-
-    result = ExperimentResult(
-        exhibit="Figure 2",
-        title="Performance-counter events averaged per epoch (CNN/News20)",
-        columns=["event"] + [f"log10@{p}" for p in phases] + ["bucket", "cv"],
-        notes=(
-            "cv = coefficient of variation across training epochs; the "
-            "paper's claim is that it stays small (repetitive behaviour)"
-        ),
-    )
-    for i, event in enumerate(EVENT_NAMES):
-        training_cols = matrix[i, 1:]
-        cv = float(np.std(training_cols) / max(1e-12, np.mean(training_cols)))
-        row = {
-            "event": event,
-            "bucket": bucket_label(float(np.mean(training_cols))),
-            "cv": cv,
-        }
-        for column, phase in enumerate(phases):
-            row[f"log10@{phase}"] = float(np.log10(1.0 + matrix[i, column]))
-        result.add_row(**row)
-    return result
+    return run_scenario("fig02", scale=scale, seed=seed)
 
 
 def max_training_cv(result: ExperimentResult) -> float:

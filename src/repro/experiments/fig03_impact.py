@@ -9,99 +9,15 @@ Three panels, all LeNet on MNIST:
 * (c) same as (b) for energy.
 
 Each cell is measured by running a full (simulated) training trial on
-a dedicated node and comparing against the baseline trial.
+a dedicated node and comparing against the baseline trial. Thin shim
+over the declared ``fig03`` scenario (:mod:`repro.scenarios.paper`).
 """
 
 from __future__ import annotations
 
-from typing import Tuple
-
-from ..simulation.des import Environment
-from ..simulation.cluster import NodeSpec, SimCluster
-from ..simulation.power import EnergyMeter
-from ..tune.trainer import run_trial
-from ..workloads.registry import LENET_MNIST
-from ..workloads.spec import HyperParams, SystemParams
+from ..scenarios import run_scenario
 from .harness import ExperimentResult
-
-EPOCHS = 10
-
-
-def _train(
-    batch_size: int, cores: int, memory_gb: float = 32.0
-) -> Tuple[float, float, float]:
-    """(accuracy, duration_s, energy_j) of one full training run.
-
-    Energy is the node-level (PDU-view) trapezoidal integral over the
-    run, matching how the paper measures Fig 3c — idle draw included.
-    """
-    env = Environment()
-    cluster = SimCluster(env, [NodeSpec(name="n0", cores=16, memory_gb=64.0)])
-    meter = EnergyMeter(env, cluster)
-    process = env.process(
-        run_trial(
-            env,
-            cluster,
-            trial_id=f"fig3-b{batch_size}-c{cores}",
-            workload=LENET_MNIST,
-            hyper=HyperParams(batch_size=batch_size, epochs=EPOCHS),
-            system=SystemParams(cores=cores, memory_gb=memory_gb),
-        )
-    )
-    env.run()
-    result = process.value
-    return result.accuracy, result.training_time_s, meter.total_energy_joules()
-
-
-def _pct(value: float, baseline: float) -> float:
-    return 100.0 * (value - baseline) / baseline
 
 
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    """Regenerate all three panels as one long table."""
-    result = ExperimentResult(
-        exhibit="Figure 3",
-        title="Batch-size and core-count impact (LeNet/MNIST)",
-        columns=[
-            "panel",
-            "batch_size",
-            "cores",
-            "accuracy_diff_pct",
-            "duration_diff_pct",
-            "energy_diff_pct",
-        ],
-        notes=(
-            "(a) baseline batch 32 @4 cores; (b)/(c) baseline 1 core per "
-            "batch size. Expected shapes: larger batches -> lower accuracy, "
-            "shorter runtime, lower energy; extra cores help batch 1024 "
-            "but hurt batch 64"
-        ),
-    )
-
-    # Panel (a): batch-size impact at the default 4 cores.
-    base_acc, base_dur, base_energy = _train(batch_size=32, cores=4)
-    for batch in (64, 256, 1024):
-        acc, dur, energy = _train(batch_size=batch, cores=4)
-        result.add_row(
-            panel="a",
-            batch_size=batch,
-            cores=4,
-            accuracy_diff_pct=_pct(acc, base_acc),
-            duration_diff_pct=_pct(dur, base_dur),
-            energy_diff_pct=_pct(energy, base_energy),
-        )
-
-    # Panels (b) and (c): cores impact per batch size vs sequential.
-    for batch in (64, 256, 1024):
-        _, dur1, energy1 = _train(batch_size=batch, cores=1)
-        for cores in (2, 4, 8):
-            _, dur, energy = _train(batch_size=batch, cores=cores)
-            result.add_row(
-                panel="b/c",
-                batch_size=batch,
-                cores=cores,
-                accuracy_diff_pct=0.0,
-                duration_diff_pct=_pct(dur, dur1),
-                energy_diff_pct=_pct(energy, energy1),
-            )
-    return result
+    return run_scenario("fig03", scale=scale, seed=seed)

@@ -8,78 +8,20 @@ single Tune V1 job on the default setup.
 
 Expected shape: only a few (cores, jobs) combinations improve on the
 baseline; heavy sharing hurts both error and runtime.
+
+Thin shim over the declared ``fig05`` scenario: the pinned variants
+are per-policy search-space overrides plus contention levels
+(:mod:`repro.scenarios.paper`).
 """
 
 from __future__ import annotations
 
-from ..hpo.hyperband import HyperBand
-from ..hpo.space import Choice, SearchSpace, joint_space
-from ..tune.objectives import accuracy_per_time_objective
-from ..tune.runner import HptJobSpec
-from ..workloads.registry import LENET_MNIST
-from .harness import (
-    HYPERBAND_ETA,
-    HYPERBAND_MAX_EPOCHS,
-    V2_TRIAL_SETUP_S,
-    ExperimentResult,
-    execute_job,
-    make_v1_spec,
-    mean,
-    seeds_for,
-)
+from ..scenarios import run_scenario
+from .harness import ExperimentResult
 
 CORE_OPTIONS = (1, 2, 4, 8)
 JOB_OPTIONS = (2, 3, 4)  # total co-located jobs incl. the tuning job
 
 
-def _pinned_v2_spec(cores: int, total_jobs: int, seed: int) -> HptJobSpec:
-    """A Tune V2 job whose trials are pinned to ``cores`` shared by
-    ``total_jobs`` co-located jobs."""
-    base = joint_space(nlp=False)
-    domains = dict(base.domains)
-    domains["cores"] = Choice([cores])  # pinned
-    return HptJobSpec(
-        workload=LENET_MNIST,
-        algorithm_factory=lambda: HyperBand(
-            SearchSpace(domains),
-            max_epochs=HYPERBAND_MAX_EPOCHS,
-            eta=HYPERBAND_ETA,
-            seed=seed,
-        ),
-        objective=accuracy_per_time_objective,
-        system_policy="v2",
-        trial_setup_s=V2_TRIAL_SETUP_S,
-        contention=float(total_jobs),
-        name=f"v2-pinned-{cores}c-{total_jobs}j",
-    )
-
-
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    seeds = [seed + s for s in seeds_for(scale, 2)]
-    result = ExperimentResult(
-        exhibit="Figure 5",
-        title="Tune V2 under co-located jobs vs a single Tune V1 job",
-        columns=["cores", "jobs", "error_improvement_pct", "runtime_improvement_pct"],
-        notes=(
-            "improvement relative to one Tune V1 job on the default "
-            "system configuration; positive = better than baseline"
-        ),
-    )
-    baselines = [execute_job(make_v1_spec(LENET_MNIST, seed=s)) for s in seeds]
-    base_error = mean(1.0 - r.best_accuracy for r in baselines)
-    base_time = mean(r.best_training_time_s for r in baselines)
-
-    for cores in CORE_OPTIONS:
-        for jobs in JOB_OPTIONS:
-            runs = [
-                execute_job(_pinned_v2_spec(cores, jobs, seed=s)) for s in seeds
-            ]
-            error = mean(1.0 - r.best_accuracy for r in runs)
-            time = mean(r.best_training_time_s for r in runs)
-            result.add_row(
-                cores=cores,
-                jobs=jobs,
-                error_improvement_pct=100.0 * (base_error - error) / base_error,
-                runtime_improvement_pct=100.0 * (base_time - time) / base_time,
-            )
-    return result
+    return run_scenario("fig05", scale=scale, seed=seed)

@@ -5,85 +5,21 @@ vectors of the Type-I/II workloads; the figure shows that jobs
 sharing a model (Type-I: LeNet on two datasets) and jobs sharing a
 dataset (Type-II: two models on News20) land in distinct clusters,
 supporting the workload-similarity assumption of Fig 4.
+
+Thin shim over the declared ``fig08`` scenario
+(:mod:`repro.scenarios.paper`, which also hosts the profiling
+campaign).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..core.clustering import KMeans
-from ..counters.profiler import EpochProfiler
-from ..workloads.perfmodel import active_cores, epoch_cost
-from ..workloads.registry import type12_workloads
-from ..workloads.spec import (
-    PAPER_BATCH_GRID,
-    HyperParams,
-    SystemParams,
-    TrialConfig,
-)
+from ..scenarios import run_scenario
+from ..scenarios.paper import profile_campaign  # noqa: F401  (re-export)
 from .harness import ExperimentResult
 
 
-def profile_campaign(scale: float = 1.0):
-    """Feature vectors + metadata from the §7.2 profiling campaign.
-
-    Each workload is profiled under the paper's batch grid (one epoch
-    per point, default system configuration, two repetitions).
-    """
-    batches = PAPER_BATCH_GRID if scale >= 1.0 else PAPER_BATCH_GRID[:2]
-    profiler = EpochProfiler()
-    system = SystemParams(cores=8, memory_gb=32.0)
-    features, meta = [], []
-    for workload in type12_workloads():
-        for batch in batches:
-            config = TrialConfig(workload, HyperParams(batch_size=batch), system)
-            profiles = []
-            durations = []
-            for rep in range(2):
-                cost = epoch_cost(config, epoch=rep)
-                durations.append(cost.total_s)
-                profiles.append(
-                    profiler.profile_epoch(
-                        config, rep, cost.total_s, active_cores(config, cost)
-                    )
-                )
-            features.append(np.mean([p.feature_vector() for p in profiles], axis=0))
-            meta.append(
-                {
-                    "workload": workload.name,
-                    "model": workload.model,
-                    "dataset": workload.dataset,
-                    "type": workload.workload_type,
-                    "batch_size": batch,
-                    "duration_s": float(np.mean(durations)),
-                }
-            )
-    return np.array(features), meta
-
-
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    features, meta = profile_campaign(scale)
-    model = KMeans(k=2, seed=seed).fit(features)
-    result = ExperimentResult(
-        exhibit="Figure 8",
-        title="k-means (k=2) clusters over profiling-campaign features",
-        columns=[
-            "workload",
-            "model",
-            "dataset",
-            "type",
-            "batch_size",
-            "duration_s",
-            "cluster",
-        ],
-        notes=(
-            "expected: Type-I (lenet/*) and Type-II (*/news20) separate "
-            "into the two clusters"
-        ),
-    )
-    for row, label in zip(meta, model.labels):
-        result.add_row(cluster=int(label), **row)
-    return result
+    return run_scenario("fig08", scale=scale, seed=seed)
 
 
 def cluster_purity(result: ExperimentResult) -> float:

@@ -4,51 +4,19 @@ The paper plots, for each of PipeTune / Tune V1 / Tune V2, the best
 accuracy reached so far as the tuning job progresses. Expected shape:
 PipeTune converges to V1's accuracy level at a visibly faster rate
 (paper: ~1.5x vs V1, ~2x vs V2); V2 plateaus lower.
+
+Thin shim over the declared ``fig09`` scenario
+(:mod:`repro.scenarios.paper`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
-
-from ..tune.runner import HptResult
-from ..workloads.registry import CNN_NEWS20, type12_workloads
-from .harness import (
-    ExperimentResult,
-    execute_job,
-    make_pipetune_session,
-    make_pipetune_spec,
-    make_v1_spec,
-    make_v2_spec,
-)
-
-
-def _jobs(seed: int) -> Dict[str, HptResult]:
-    session = make_pipetune_session(distributed=True, seed=seed)
-    session.warm_start(type12_workloads())
-    return {
-        "pipetune": execute_job(make_pipetune_spec(session, CNN_NEWS20, seed=seed)),
-        "tune-v1": execute_job(make_v1_spec(CNN_NEWS20, seed=seed)),
-        "tune-v2": execute_job(make_v2_spec(CNN_NEWS20, seed=seed)),
-    }
+from ..scenarios import run_scenario
+from .harness import ExperimentResult
 
 
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    results = _jobs(seed)
-    result = ExperimentResult(
-        exhibit="Figure 9",
-        title="Accuracy convergence over tuning wall-clock (CNN/News20)",
-        columns=["system", "wall_time_s", "best_accuracy_pct", "trial_accuracy_pct"],
-        notes="one timeline row per completed trial",
-    )
-    for system, hpt in results.items():
-        for point in hpt.timeline:
-            result.add_row(
-                system=system,
-                wall_time_s=point.wall_time_s,
-                best_accuracy_pct=100.0 * point.best_accuracy,
-                trial_accuracy_pct=100.0 * point.trial_accuracy,
-            )
-    return result
+    return run_scenario("fig09", scale=scale, seed=seed)
 
 
 def time_to_accuracy(

@@ -5,31 +5,19 @@ Companion to Figure 9 (same CNN/News20 jobs): per completed trial, the
 Expected shape: PipeTune's trials are consistently shorter than both
 baselines throughout the tuning process; Tune V1's trials are the
 longest because it never optimises for time.
+
+Thin shim over the declared ``fig10`` scenario
+(:mod:`repro.scenarios.paper`).
 """
 
 from __future__ import annotations
 
-from .fig09_convergence import _jobs
+from ..scenarios import run_scenario
 from .harness import ExperimentResult, mean
 
 
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    results = _jobs(seed)
-    result = ExperimentResult(
-        exhibit="Figure 10",
-        title="Training-trial time over tuning wall-clock (CNN/News20)",
-        columns=["system", "wall_time_s", "trial_time_s"],
-        notes="one row per completed trial; "
-        "trial_time normalised to a full training run",
-    )
-    for system, hpt in results.items():
-        for point in hpt.timeline:
-            result.add_row(
-                system=system,
-                wall_time_s=point.wall_time_s,
-                trial_time_s=point.trial_training_time_s,
-            )
-    return result
+    return run_scenario("fig10", scale=scale, seed=seed)
 
 
 def mean_trial_time(result: ExperimentResult, system: str) -> float:

@@ -10,65 +10,21 @@ Expected shapes (§7.3): PipeTune accuracy on par with V1 (V2 up to
 V1; PipeTune training time comparable to V2 (up to 1.7× faster than
 the baseline); PipeTune tuning energy up to 29 % below V1, V2 up to
 22 % above.
+
+Thin shim over the declared ``fig11`` scenario
+(:mod:`repro.scenarios.paper`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Dict
 
-from ..tune.runner import HptResult
-from ..workloads.registry import type12_workloads
-from .harness import (
-    ExperimentResult,
-    execute_job,
-    make_pipetune_session,
-    make_pipetune_spec,
-    make_v1_spec,
-    make_v2_spec,
-    mean,
-    seeds_for,
-)
+from ..scenarios import run_scenario
+from .harness import ExperimentResult
 
 
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    seeds = [seed + s for s in seeds_for(scale, 3)]
-    workloads = type12_workloads()
-    result = ExperimentResult(
-        exhibit="Figure 11",
-        title="Single-tenancy: accuracy / training / tuning / energy (Type-I/II)",
-        columns=[
-            "workload",
-            "system",
-            "accuracy_pct",
-            "training_time_s",
-            "tuning_time_s",
-            "tuning_energy_kj",
-        ],
-        notes=f"mean over {len(seeds)} seeds; dedicated 4-node cluster per job",
-    )
-
-    session = make_pipetune_session(distributed=True, seed=seed)
-    session.warm_start(workloads)
-
-    def spec_builders(workload):
-        return {
-            "tune-v1": lambda s: make_v1_spec(workload, seed=s),
-            "tune-v2": lambda s: make_v2_spec(workload, seed=s),
-            "pipetune": lambda s: make_pipetune_spec(session, workload, seed=s),
-        }
-
-    for workload in workloads:
-        for system, build in spec_builders(workload).items():
-            runs: List[HptResult] = [execute_job(build(s)) for s in seeds]
-            result.add_row(
-                workload=workload.name,
-                system=system,
-                accuracy_pct=100.0 * mean(r.best_accuracy for r in runs),
-                training_time_s=mean(r.best_training_time_s for r in runs),
-                tuning_time_s=mean(r.tuning_time_s for r in runs),
-                tuning_energy_kj=mean(r.tuning_energy_j for r in runs) / 1000.0,
-            )
-    return result
+    return run_scenario("fig11", scale=scale, seed=seed)
 
 
 def metric_by_system(

@@ -5,64 +5,16 @@ Same four metrics as Figure 11 but on the paper's single E5 node
 them, a deliberately harder setting for PipeTune's epoch-granular
 pipeline. Expected: the Figure-11 shapes still hold (the paper calls
 this the "more challenging scenario").
+
+Thin shim over the declared ``fig12`` scenario
+(:mod:`repro.scenarios.paper`).
 """
 
 from __future__ import annotations
 
-from typing import List
-
-from ..tune.runner import HptResult
-from ..workloads.registry import workloads_of_type
-from .harness import (
-    ExperimentResult,
-    execute_job,
-    make_pipetune_session,
-    make_pipetune_spec,
-    make_v1_spec,
-    make_v2_spec,
-    mean,
-    seeds_for,
-)
+from ..scenarios import run_scenario
+from .harness import ExperimentResult
 
 
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    seeds = [seed + s for s in seeds_for(scale, 3)]
-    workloads = workloads_of_type("III")
-    result = ExperimentResult(
-        exhibit="Figure 12",
-        title="Single-node Type-III: accuracy / training / tuning / energy",
-        columns=[
-            "workload",
-            "system",
-            "accuracy_pct",
-            "training_time_s",
-            "tuning_time_s",
-            "tuning_energy_kj",
-        ],
-        notes=f"mean over {len(seeds)} seeds; single 8-core/24GB node",
-    )
-
-    session = make_pipetune_session(distributed=False, seed=seed)
-    session.warm_start(workloads)
-
-    builders = {
-        "tune-v1": lambda w, s: make_v1_spec(w, seed=s, max_concurrent=2),
-        "tune-v2": lambda w, s: make_v2_spec(w, seed=s, max_concurrent=2),
-        "pipetune": lambda w, s: make_pipetune_spec(
-            session, w, seed=s, max_concurrent=2
-        ),
-    }
-    for workload in workloads:
-        for system, build in builders.items():
-            runs: List[HptResult] = [
-                execute_job(build(workload, s), distributed=False) for s in seeds
-            ]
-            result.add_row(
-                workload=workload.name,
-                system=system,
-                accuracy_pct=100.0 * mean(r.best_accuracy for r in runs),
-                training_time_s=mean(r.best_training_time_s for r in runs),
-                tuning_time_s=mean(r.tuning_time_s for r in runs),
-                tuning_energy_kj=mean(r.tuning_energy_j for r in runs) / 1000.0,
-            )
-    return result
+    return run_scenario("fig12", scale=scale, seed=seed)

@@ -5,85 +5,21 @@ times on the shared 4-node cluster; Type-I and Type-II each contribute
 50 % of the jobs (round-robin within a type); 20 % of jobs are unseen.
 Reported: mean response time per type and overall, for Tune V1,
 Tune V2 and PipeTune. Expected: PipeTune up to ~30 % lower.
+
+Thin shim over the declared ``fig13`` scenario
+(:mod:`repro.scenarios.paper`).
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
-from ..multitenancy.arrivals import generate_arrivals
-from ..multitenancy.scheduler import MultiTenancyResult, run_multi_tenancy
-from ..tune.runner import HptJobSpec
-from ..workloads.registry import type12_workloads, workloads_of_type
-from ..workloads.spec import WorkloadSpec
-from .harness import (
-    ExperimentResult,
-    fresh_cluster,
-    make_pipetune_session,
-    make_pipetune_spec,
-    make_v1_spec,
-    make_v2_spec,
-)
-
-NUM_JOBS_FULL = 12
-MEAN_INTERARRIVAL_S = 1200.0
-MAX_CONCURRENT_JOBS = 2
-
-
-def _trace(system: str, num_jobs: int, seed: int) -> MultiTenancyResult:
-    env, cluster = fresh_cluster(distributed=True)
-    arrivals = generate_arrivals(
-        [workloads_of_type("I"), workloads_of_type("II")],
-        num_jobs=num_jobs,
-        mean_interarrival_s=MEAN_INTERARRIVAL_S,
-        unseen_fraction=0.2,
-        seed=seed,
-    )
-    if system == "pipetune":
-        session = make_pipetune_session(distributed=True, seed=seed)
-        session.warm_start(type12_workloads())
-
-        def factory(workload: WorkloadSpec, arrival) -> HptJobSpec:
-            return make_pipetune_spec(session, workload, seed=seed + arrival.index)
-
-    elif system == "tune-v1":
-
-        def factory(workload: WorkloadSpec, arrival) -> HptJobSpec:
-            return make_v1_spec(workload, seed=seed + arrival.index)
-
-    elif system == "tune-v2":
-
-        def factory(workload: WorkloadSpec, arrival) -> HptJobSpec:
-            return make_v2_spec(workload, seed=seed + arrival.index)
-
-    else:
-        raise ValueError(f"unknown system {system!r}")
-    return run_multi_tenancy(
-        env, cluster, arrivals, factory, max_concurrent_jobs=MAX_CONCURRENT_JOBS
-    )
+from ..scenarios import run_scenario
+from .harness import ExperimentResult
 
 
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    num_jobs = max(4, int(round(NUM_JOBS_FULL * scale)))
-    result = ExperimentResult(
-        exhibit="Figure 13",
-        title="Multi-tenancy mean response time (Type-I/II mix)",
-        columns=["system", "type_I_s", "type_II_s", "all_s", "queue_wait_s"],
-        notes=(
-            f"{num_jobs} jobs, exp. interarrival {MEAN_INTERARRIVAL_S:.0f}s, "
-            f"{MAX_CONCURRENT_JOBS} concurrent jobs, 20% unseen"
-        ),
-    )
-    for system in ("tune-v1", "tune-v2", "pipetune"):
-        trace = _trace(system, num_jobs, seed)
-        result.add_row(
-            system=system,
-            type_I_s=trace.mean_response_time_s("I"),
-            type_II_s=trace.mean_response_time_s("II"),
-            all_s=trace.mean_response_time_s(),
-            queue_wait_s=trace.mean_queue_wait_s(),
-        )
-    return result
+    return run_scenario("fig13", scale=scale, seed=seed)
 
 
 def response_times(result: ExperimentResult) -> Dict[str, float]:

@@ -5,93 +5,16 @@ Rodinia workloads, reported per workload and overall. The paper finds
 the gains *larger* here (up to ~65 % response-time reduction): short
 jobs make queueing delays dominate, so every service-time second
 PipeTune saves compounds across the queue.
+
+Thin shim over the declared ``fig14`` scenario
+(:mod:`repro.scenarios.paper`).
 """
 
 from __future__ import annotations
 
-from ..multitenancy.arrivals import generate_arrivals
-from ..multitenancy.scheduler import MultiTenancyResult, run_multi_tenancy
-from ..tune.runner import HptJobSpec
-from ..workloads.registry import workloads_of_type
-from ..workloads.spec import WorkloadSpec
-from .harness import (
-    ExperimentResult,
-    fresh_cluster,
-    make_pipetune_session,
-    make_pipetune_spec,
-    make_v1_spec,
-    make_v2_spec,
-)
-
-NUM_JOBS_FULL = 12
-MEAN_INTERARRIVAL_S = 400.0
-MAX_CONCURRENT_JOBS = 1  # one job at a time on the single node
-
-
-def _trace(system: str, num_jobs: int, seed: int) -> MultiTenancyResult:
-    env, cluster = fresh_cluster(distributed=False)
-    arrivals = generate_arrivals(
-        [workloads_of_type("III")],
-        num_jobs=num_jobs,
-        mean_interarrival_s=MEAN_INTERARRIVAL_S,
-        unseen_fraction=0.2,
-        seed=seed,
-    )
-    if system == "pipetune":
-        session = make_pipetune_session(distributed=False, seed=seed)
-        session.warm_start(workloads_of_type("III"))
-
-        def factory(workload: WorkloadSpec, arrival) -> HptJobSpec:
-            return make_pipetune_spec(
-                session, workload, seed=seed + arrival.index, max_concurrent=2
-            )
-
-    elif system == "tune-v1":
-
-        def factory(workload: WorkloadSpec, arrival) -> HptJobSpec:
-            return make_v1_spec(workload, seed=seed + arrival.index, max_concurrent=2)
-
-    elif system == "tune-v2":
-
-        def factory(workload: WorkloadSpec, arrival) -> HptJobSpec:
-            return make_v2_spec(workload, seed=seed + arrival.index, max_concurrent=2)
-
-    else:
-        raise ValueError(f"unknown system {system!r}")
-    return run_multi_tenancy(
-        env, cluster, arrivals, factory, max_concurrent_jobs=MAX_CONCURRENT_JOBS
-    )
+from ..scenarios import run_scenario
+from .harness import ExperimentResult
 
 
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    num_jobs = max(4, int(round(NUM_JOBS_FULL * scale)))
-    result = ExperimentResult(
-        exhibit="Figure 14",
-        title="Multi-tenancy mean response time (Type-III, single node)",
-        columns=["system", "jacobi_s", "spkmeans_s", "bfs_s", "all_s"],
-        notes=(
-            f"{num_jobs} jobs, exp. interarrival {MEAN_INTERARRIVAL_S:.0f}s, "
-            "FIFO one job at a time, 20% unseen"
-        ),
-    )
-    for system in ("tune-v1", "tune-v2", "pipetune"):
-        trace = _trace(system, num_jobs, seed)
-
-        def by_workload(prefix: str) -> float:
-            records = [
-                r
-                for r in trace.records
-                if r.arrival.workload.name.startswith(prefix)
-            ]
-            if not records:
-                return 0.0
-            return sum(r.response_time_s for r in records) / len(records)
-
-        result.add_row(
-            system=system,
-            jacobi_s=by_workload("jacobi"),
-            spkmeans_s=by_workload("spkmeans"),
-            bfs_s=by_workload("bfs"),
-            all_s=trace.mean_response_time_s(),
-        )
-    return result
+    return run_scenario("fig14", scale=scale, seed=seed)

@@ -1,183 +1,44 @@
-"""Shared experiment plumbing: result tables, baseline builders.
+"""Shared experiment plumbing — now a shim over :mod:`repro.scenarios`.
 
-Every exhibit of the paper (each table and figure of §7) has one
-module in this package exposing ``run(scale=..., seed=...) ->
-ExperimentResult``. ``scale`` trades fidelity for runtime: 1.0 is the
-full paper-sized experiment, smaller values shrink trial counts /
-repetitions so the benchmark suite stays fast.
+The baseline builders, cluster factories and the result table that
+historically lived here are the canonical machinery of the scenario
+API (``repro.scenarios.jobs`` / ``repro.scenarios.result``); this
+module re-exports them unchanged so downstream imports keep working.
+New code should import from :mod:`repro.scenarios` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
-
-from ..core.pipetune import PipeTuneConfig, PipeTuneSession
-from ..hpo.hyperband import HyperBand
-from ..hpo.space import joint_space, paper_hyper_space
-from ..simulation.cluster import (
-    SimCluster,
-    paper_distributed_cluster,
-    paper_single_node,
+from ..scenarios.jobs import (
+    HYPERBAND_ETA,
+    HYPERBAND_MAX_EPOCHS,
+    TRIAL_INIT_S,
+    V2_SAMPLE_SCALE,
+    V2_TRIAL_SETUP_S,
+    execute_job,
+    fresh_cluster,
+    make_pipetune_session,
+    make_pipetune_spec,
+    make_v1_spec,
+    make_v2_spec,
+    mean,
+    seeds_for,
 )
-from ..simulation.des import Environment
-from ..tune.objectives import accuracy_objective, accuracy_per_time_objective
-from ..tune.runner import DEFAULT_SYSTEM, HptJobSpec, HptResult, run_hpt_job
-from ..workloads.spec import WorkloadSpec
+from ..scenarios.result import ExperimentResult
 
-#: HyperBand budget used throughout the evaluation (rungs 1/3/9 epochs).
-HYPERBAND_MAX_EPOCHS = 9
-HYPERBAND_ETA = 3
-#: Tune V2 explores a larger space: proportionally more samples (§7.3).
-V2_SAMPLE_SCALE = 1.5
-#: per-trial job-submission/initialisation overhead every system pays
-#: (the "Init" phase visible in the paper's Fig 2).
-TRIAL_INIT_S = 20.0
-#: extra executor-restart cost Tune V2 pays per resource-reshaped
-#: trial (§4: trial resources "manually controlled"); V1 and PipeTune
-#: keep warm executors (PipeTune reshapes in place).
-V2_TRIAL_SETUP_S = TRIAL_INIT_S + 45.0
-
-
-@dataclass
-class ExperimentResult:
-    """Uniform result object: one table of rows per exhibit."""
-
-    exhibit: str  # e.g. "Figure 11"
-    title: str
-    columns: List[str]
-    rows: List[Dict] = field(default_factory=list)
-    notes: str = ""
-
-    def add_row(self, **values) -> None:
-        self.rows.append(values)
-
-    def column(self, name: str) -> List:
-        return [row.get(name) for row in self.rows]
-
-    def format_table(self, float_fmt: str = "{:.2f}") -> str:
-        """Render rows as an aligned plain-text table."""
-
-        def fmt(value) -> str:
-            if isinstance(value, float):
-                return float_fmt.format(value)
-            return str(value)
-
-        header = [self.columns]
-        body = [[fmt(row.get(c, "")) for c in self.columns] for row in self.rows]
-        widths = [
-            max(len(line[i]) for line in header + body)
-            for i in range(len(self.columns))
-        ]
-        lines = [
-            "  ".join(cell.ljust(w) for cell, w in zip(line, widths)).rstrip()
-            for line in header + [["-" * w for w in widths]] + body
-        ]
-        out = [f"== {self.exhibit}: {self.title} ==", *lines]
-        if self.notes:
-            out.append(f"note: {self.notes}")
-        return "\n".join(out)
-
-
-# ---------------------------------------------------------------------------
-# Baseline builders (shared across exhibits)
-# ---------------------------------------------------------------------------
-
-def make_v1_spec(workload: WorkloadSpec, seed: int = 0, **kwargs) -> HptJobSpec:
-    """Tune V1: HyperBand over hyperparameters, accuracy objective."""
-    space = paper_hyper_space(nlp=workload.uses_embedding)
-    return HptJobSpec(
-        workload=workload,
-        algorithm_factory=lambda: HyperBand(
-            space, max_epochs=HYPERBAND_MAX_EPOCHS, eta=HYPERBAND_ETA, seed=seed
-        ),
-        objective=accuracy_objective,
-        system_policy="v1",
-        trial_setup_s=TRIAL_INIT_S,
-        name=f"v1-{workload.name}",
-        **kwargs,
-    )
-
-
-def make_v2_spec(
-    workload: WorkloadSpec,
-    seed: int = 0,
-    max_memory_gb: float = 32.0,
-    **kwargs,
-) -> HptJobSpec:
-    """Tune V2: system params join the space, ratio objective."""
-    space = joint_space(nlp=workload.uses_embedding)
-    return HptJobSpec(
-        workload=workload,
-        algorithm_factory=lambda: HyperBand(
-            space,
-            max_epochs=HYPERBAND_MAX_EPOCHS,
-            eta=HYPERBAND_ETA,
-            sample_scale=V2_SAMPLE_SCALE,
-            seed=seed,
-        ),
-        objective=accuracy_per_time_objective,
-        system_policy="v2",
-        trial_setup_s=V2_TRIAL_SETUP_S,
-        name=f"v2-{workload.name}",
-        **kwargs,
-    )
-
-
-def make_pipetune_session(
-    distributed: bool = True,
-    config: Optional[PipeTuneConfig] = None,
-    seed: int = 0,
-) -> PipeTuneSession:
-    """A PipeTune session sized for one of the two paper testbeds."""
-    if distributed:
-        return PipeTuneSession(
-            config=config, max_cores=16, max_memory_gb=32.0, seed=seed
-        )
-    session = PipeTuneSession(config=config, max_cores=8, max_memory_gb=24.0, seed=seed)
-    if config is None:
-        session.config.cores_grid = (4, 8)
-        session.config.memory_grid_gb = (4.0, 8.0, 16.0)
-    return session
-
-
-def make_pipetune_spec(
-    session: PipeTuneSession, workload: WorkloadSpec, seed: int = 0, **kwargs
-) -> HptJobSpec:
-    space = paper_hyper_space(nlp=workload.uses_embedding)
-    kwargs.setdefault("trial_setup_s", TRIAL_INIT_S)
-    return session.job_spec(
-        workload,
-        algorithm_factory=lambda: HyperBand(
-            space, max_epochs=HYPERBAND_MAX_EPOCHS, eta=HYPERBAND_ETA, seed=seed
-        ),
-        **kwargs,
-    )
-
-
-def fresh_cluster(distributed: bool = True):
-    """A new environment + cluster pair for one isolated run."""
-    env = Environment()
-    cluster = paper_distributed_cluster(env) if distributed else paper_single_node(env)
-    return env, cluster
-
-
-def execute_job(spec: HptJobSpec, distributed: bool = True) -> HptResult:
-    """Run one HPT job to completion on a dedicated cluster."""
-    env, cluster = fresh_cluster(distributed)
-    process = run_hpt_job(env, cluster, spec)
-    env.run()
-    return process.value
-
-
-def mean(values: Sequence[float]) -> float:
-    values = list(values)
-    if not values:
-        raise ValueError("mean of empty sequence")
-    return sum(values) / len(values)
-
-
-def seeds_for(scale: float, full: int, minimum: int = 1) -> List[int]:
-    """Seed list shrunk by the experiment's scale factor."""
-    count = max(minimum, int(round(full * scale)))
-    return list(range(count))
+__all__ = [
+    "ExperimentResult",
+    "HYPERBAND_ETA",
+    "HYPERBAND_MAX_EPOCHS",
+    "TRIAL_INIT_S",
+    "V2_SAMPLE_SCALE",
+    "V2_TRIAL_SETUP_S",
+    "execute_job",
+    "fresh_cluster",
+    "make_pipetune_session",
+    "make_pipetune_spec",
+    "make_v1_spec",
+    "make_v2_spec",
+    "mean",
+    "seeds_for",
+]

@@ -14,94 +14,17 @@ PipeTune   92.70         188                3 415
 Expected shape: arbitrary worst on both axes; PipeTune accuracy ≈ V1
 with lower tuning time; PipeTune training time ≈ V2 with better
 accuracy.
+
+Thin shim over the declared ``table2`` scenario: the arbitrary
+configuration is a ``fixed`` policy, the three tuned approaches are
+the v1/v2/pipetune policies (:mod:`repro.scenarios.paper`).
 """
 
 from __future__ import annotations
 
-from ..simulation.des import Environment
-from ..simulation.cluster import paper_distributed_cluster
-from ..tune.runner import DEFAULT_SYSTEM
-from ..tune.trainer import run_trial
-from ..workloads.registry import LENET_MNIST, type12_workloads
-from ..workloads.spec import HyperParams
-from .harness import (
-    ExperimentResult,
-    execute_job,
-    make_pipetune_session,
-    make_pipetune_spec,
-    make_v1_spec,
-    make_v2_spec,
-    mean,
-    seeds_for,
-)
-
-#: a plausible "just pick something" configuration: small-ish batch
-#: (slow epochs), overly hot learning rate, heavy dropout, and more
-#: epochs than needed — worse than tuned on both accuracy and time.
-ARBITRARY_HYPER = HyperParams(
-    batch_size=64, dropout=0.45, learning_rate=0.03, epochs=18
-)
-
-
-def _arbitrary_run(seed: int):
-    env = Environment()
-    cluster = paper_distributed_cluster(env)
-    process = env.process(
-        run_trial(
-            env,
-            cluster,
-            trial_id=f"arbitrary-{seed}",
-            workload=LENET_MNIST,
-            hyper=ARBITRARY_HYPER,
-            system=DEFAULT_SYSTEM,
-        )
-    )
-    env.run()
-    return process.value
+from ..scenarios import run_scenario
+from .harness import ExperimentResult
 
 
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    seeds = [seed + s for s in seeds_for(scale, 3)]
-    result = ExperimentResult(
-        exhibit="Table 2",
-        title="Accuracy, training and tuning time per approach (LeNet/MNIST)",
-        columns=["approach", "accuracy_pct", "training_time_s", "tuning_time_s"],
-        notes=f"mean over {len(seeds)} seeds",
-    )
-
-    arbitrary = [_arbitrary_run(s) for s in seeds]
-    result.add_row(
-        approach="Arbitrary",
-        accuracy_pct=100.0 * mean(r.accuracy for r in arbitrary),
-        training_time_s=mean(r.training_time_s for r in arbitrary),
-        tuning_time_s=0.0,
-    )
-
-    v1 = [execute_job(make_v1_spec(LENET_MNIST, seed=s)) for s in seeds]
-    result.add_row(
-        approach="Tune V1",
-        accuracy_pct=100.0 * mean(r.best_accuracy for r in v1),
-        training_time_s=mean(r.best_training_time_s for r in v1),
-        tuning_time_s=mean(r.tuning_time_s for r in v1),
-    )
-
-    v2 = [execute_job(make_v2_spec(LENET_MNIST, seed=s)) for s in seeds]
-    result.add_row(
-        approach="Tune V2",
-        accuracy_pct=100.0 * mean(r.best_accuracy for r in v2),
-        training_time_s=mean(r.best_training_time_s for r in v2),
-        tuning_time_s=mean(r.tuning_time_s for r in v2),
-    )
-
-    session = make_pipetune_session(distributed=True, seed=seed)
-    session.warm_start(type12_workloads())
-    pipetune = [
-        execute_job(make_pipetune_spec(session, LENET_MNIST, seed=s)) for s in seeds
-    ]
-    result.add_row(
-        approach="PipeTune",
-        accuracy_pct=100.0 * mean(r.best_accuracy for r in pipetune),
-        training_time_s=mean(r.best_training_time_s for r in pipetune),
-        tuning_time_s=mean(r.tuning_time_s for r in pipetune),
-    )
-    return result
+    return run_scenario("table2", scale=scale, seed=seed)

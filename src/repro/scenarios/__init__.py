@@ -1,0 +1,138 @@
+"""Declarative scenario API: one composable front door for experiments.
+
+Declare *what* to run — workload x cluster x HPO algorithm x system
+policy x objective x tenancy x failure injection x repetitions — as a
+validated :class:`Scenario`; the :class:`ScenarioRunner` derives *how*
+(spec construction, session sharing, execution order) through explicit
+``plan -> validate -> execute -> collect`` phases. All 12 paper
+exhibits and every novel experiment are entries in
+:data:`SCENARIO_REGISTRY`; the CLI front end is
+``repro scenario list|describe|run``.
+
+Quick start::
+
+    from repro.scenarios import Scenario, ScenarioRunner, pipetune, tune_v1
+
+    scenario = (
+        Scenario.builder("my-comparison")
+        .workloads("lenet-mnist")
+        .compare(tune_v1(), pipetune())
+        .repetitions(2)
+        .build()
+    )
+    table = ScenarioRunner(scenario).run(scale=1.0, seed=0)
+    print(table.format_table())
+"""
+
+from .jobs import (
+    HYPERBAND_ETA,
+    HYPERBAND_MAX_EPOCHS,
+    TRIAL_INIT_S,
+    V2_SAMPLE_SCALE,
+    V2_TRIAL_SETUP_S,
+    execute_job,
+    fresh_cluster,
+    make_pipetune_session,
+    make_pipetune_spec,
+    make_v1_spec,
+    make_v2_spec,
+    mean,
+    seeds_for,
+    session_for_cluster,
+)
+from .registry import (
+    SCENARIO_REGISTRY,
+    ScenarioDefinition,
+    get_definition,
+    register,
+    run_scenario,
+    scenario_names,
+)
+from .result import ExperimentResult
+from .runner import (
+    AnalysisStep,
+    FixedTrialStep,
+    JobStep,
+    ScenarioPlan,
+    ScenarioRunner,
+    TraceStep,
+    apply_space_overrides,
+    build_job_spec,
+    metrics_by_system_collector,
+    shared_tenancy_collector,
+)
+from .spec import (
+    ALGORITHM_BUILDERS,
+    OBJECTIVES,
+    PAPER_DISTRIBUTED_CLUSTER,
+    PAPER_SINGLE_NODE,
+    AlgorithmSpec,
+    ClusterSpec,
+    FailureSpec,
+    Scenario,
+    ScenarioBuilder,
+    ScenarioError,
+    SystemPolicySpec,
+    TenancySpec,
+    fixed_trial,
+    pipetune,
+    tune_v1,
+    tune_v2,
+)
+
+# importing these modules populates SCENARIO_REGISTRY (paper exhibits
+# first, then the novel scenarios).
+from . import paper  # noqa: E402  (registration side effects)
+from . import novel  # noqa: E402  (registration side effects)
+
+__all__ = [
+    "ALGORITHM_BUILDERS",
+    "AnalysisStep",
+    "AlgorithmSpec",
+    "ClusterSpec",
+    "ExperimentResult",
+    "FailureSpec",
+    "FixedTrialStep",
+    "HYPERBAND_ETA",
+    "HYPERBAND_MAX_EPOCHS",
+    "JobStep",
+    "OBJECTIVES",
+    "PAPER_DISTRIBUTED_CLUSTER",
+    "PAPER_SINGLE_NODE",
+    "SCENARIO_REGISTRY",
+    "Scenario",
+    "ScenarioBuilder",
+    "ScenarioDefinition",
+    "ScenarioError",
+    "ScenarioPlan",
+    "ScenarioRunner",
+    "SystemPolicySpec",
+    "TRIAL_INIT_S",
+    "TenancySpec",
+    "TraceStep",
+    "V2_SAMPLE_SCALE",
+    "V2_TRIAL_SETUP_S",
+    "apply_space_overrides",
+    "build_job_spec",
+    "execute_job",
+    "fixed_trial",
+    "fresh_cluster",
+    "get_definition",
+    "make_pipetune_session",
+    "make_pipetune_spec",
+    "make_v1_spec",
+    "make_v2_spec",
+    "mean",
+    "metrics_by_system_collector",
+    "novel",
+    "paper",
+    "pipetune",
+    "register",
+    "run_scenario",
+    "scenario_names",
+    "seeds_for",
+    "session_for_cluster",
+    "shared_tenancy_collector",
+    "tune_v1",
+    "tune_v2",
+]

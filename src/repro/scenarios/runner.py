@@ -1,0 +1,527 @@
+"""ScenarioRunner: plan -> validate -> execute -> collect.
+
+The runner turns a declarative :class:`~repro.scenarios.spec.Scenario`
+into work, in four explicit phases:
+
+* **plan** — enumerate every unit of work (one HPT job, one fixed
+  training trial, one multi-tenant trace, or one analysis routine) as
+  a :class:`ScenarioPlan` of typed steps, in a deterministic order;
+* **validate** — the scenario's declarative validation plus plan-level
+  checks, all failures reported at once;
+* **execute** — run the steps sequentially, each on a freshly built
+  cluster; PipeTune policies share one long-lived session per policy
+  across all dedicated-tenancy steps (the ground-truth database is the
+  whole point), while every shared-tenancy trace gets its own;
+* **collect** — fold the step outcomes into one
+  :class:`~repro.scenarios.result.ExperimentResult` table.
+
+Execution reproduces the historical exhibit modules byte-for-byte:
+the spec builders, spec names, session warm-starts and step order are
+exactly the ones ``repro.experiments.harness`` used, so the random
+streams (counter-keyed on spec reprs and trial ids) are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..hpo.space import Choice, SearchSpace, joint_space, paper_hyper_space
+from ..multitenancy.arrivals import generate_arrivals
+from ..multitenancy.scheduler import MultiTenancyResult, run_multi_tenancy
+from ..simulation.des import Environment
+from ..tune.runner import HptJobSpec, HptResult, run_hpt_job
+from ..tune.trainer import run_trial
+from ..workloads.registry import get_workload, type12_workloads, workloads_of_type
+from ..workloads.spec import WorkloadSpec
+from .jobs import mean, seeds_for, session_for_cluster
+from .result import ExperimentResult
+from .spec import (
+    OBJECTIVES,
+    Scenario,
+    ScenarioError,
+    SystemPolicySpec,
+)
+
+# ---------------------------------------------------------------------------
+# Plan steps
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobStep:
+    """One HPT job on a dedicated cluster."""
+
+    workload: WorkloadSpec
+    policy: SystemPolicySpec
+    seed: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload.name}/{self.policy.label}/seed{self.seed}"
+
+    def describe(self) -> str:
+        return f"job   {self.label}"
+
+
+@dataclass(frozen=True)
+class FixedTrialStep:
+    """One plain training trial (no tuning) on a dedicated cluster."""
+
+    workload: WorkloadSpec
+    policy: SystemPolicySpec
+    seed: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload.name}/{self.policy.label}/seed{self.seed}"
+
+    def describe(self) -> str:
+        return f"trial {self.label}"
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One multi-tenant arrival trace on a shared cluster."""
+
+    policy: SystemPolicySpec
+    num_jobs: int
+    seed: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.policy.label}/{self.num_jobs}jobs/seed{self.seed}"
+
+    def describe(self) -> str:
+        return f"trace {self.label}"
+
+
+@dataclass(frozen=True)
+class AnalysisStep:
+    """One analytic/profiling routine producing a result table."""
+
+    name: str
+    fn: Callable[[float, int], ExperimentResult]
+
+    @property
+    def label(self) -> str:
+        return self.name
+
+    def describe(self) -> str:
+        return f"analysis {self.name}"
+
+
+Step = Union[JobStep, FixedTrialStep, TraceStep, AnalysisStep]
+
+
+@dataclass(frozen=True)
+class ScenarioPlan:
+    """The deterministic work list of one scenario run."""
+
+    scenario: Scenario
+    scale: float
+    seed: int
+    seeds: Tuple[int, ...]
+    steps: Tuple[Step, ...]
+
+    def describe(self) -> List[str]:
+        return [step.describe() for step in self.steps]
+
+
+#: builds the steps of one scenario run; analysis scenarios override it.
+PlanFn = Callable[[Scenario, float, int], Sequence[Step]]
+#: folds step outcomes back into one table.
+Collector = Callable[[ScenarioPlan, List], ExperimentResult]
+
+
+# ---------------------------------------------------------------------------
+# Declarative -> concrete: spaces, specs, sessions
+# ---------------------------------------------------------------------------
+
+
+def apply_space_overrides(space: SearchSpace, overrides) -> SearchSpace:
+    """Pin existing search dimensions to explicit choice lists.
+
+    Overriding a dimension the space does not have is an error (it
+    would silently *add* a search axis); scenario validation rejects
+    it per workload, this is the runtime backstop.
+    """
+    if not overrides:
+        return space
+    domains = dict(space.domains)
+    for param, choices in overrides:
+        if param not in domains:
+            raise KeyError(
+                f"space override {param!r} is not a dimension of this space "
+                f"(has: {list(domains)})"
+            )
+        domains[param] = Choice(list(choices))
+    return SearchSpace(domains)
+
+
+def _policy_space(policy: SystemPolicySpec, workload: WorkloadSpec) -> SearchSpace:
+    nlp = workload.uses_embedding
+    base = joint_space(nlp=nlp) if policy.kind == "v2" else paper_hyper_space(nlp=nlp)
+    return apply_space_overrides(base, policy.space_overrides)
+
+
+def build_job_spec(
+    scenario: Scenario,
+    policy: SystemPolicySpec,
+    workload: WorkloadSpec,
+    seed: int,
+    session=None,
+) -> HptJobSpec:
+    """The HptJobSpec one (policy, workload, seed) cell resolves to.
+
+    Byte-compatibility contract: for the paper's hyperband scenarios
+    this constructs exactly the specs of ``make_v1_spec`` /
+    ``make_v2_spec`` / ``make_pipetune_spec`` — same names, spaces,
+    objectives and setup costs — so trial ids and random streams are
+    unchanged.
+    """
+    space = _policy_space(policy, workload)
+    algorithm = scenario.algorithm
+    sample_scale = policy.effective_sample_scale
+
+    def algorithm_factory():
+        return algorithm.build(space, seed=seed, sample_scale=sample_scale)
+
+    common: Dict = {
+        "contention": policy.contention,
+        "max_concurrent": scenario.max_concurrent_trials,
+        "trial_setup_s": policy.effective_trial_setup_s,
+    }
+    if scenario.failures.oom_threshold is not None:
+        common["oom_threshold"] = scenario.failures.oom_threshold
+    if policy.kind == "pipetune":
+        if session is None:
+            raise ValueError("pipetune policy needs a session")
+        kwargs = dict(common)
+        if policy.name:
+            kwargs["name"] = policy.name
+        return session.job_spec(
+            workload, algorithm_factory=algorithm_factory, seed=seed, **kwargs
+        )
+    return HptJobSpec(
+        workload=workload,
+        algorithm_factory=algorithm_factory,
+        objective=OBJECTIVES[policy.effective_objective],
+        system_policy=policy.kind,
+        name=policy.name or f"{policy.kind}-{workload.name}",
+        **common,
+    )
+
+
+def _resolve_warm_start(scenario: Scenario, policy: SystemPolicySpec):
+    kind = policy.effective_warm_start(scenario.cluster)
+    if kind == "none":
+        return None
+    if kind == "type12":
+        return type12_workloads()
+    if kind == "type3":
+        return workloads_of_type("III")
+    return [get_workload(name) for name in scenario.workloads]
+
+
+# ---------------------------------------------------------------------------
+# Default collectors
+# ---------------------------------------------------------------------------
+
+
+def _grouped_jobs(plan: ScenarioPlan, outcomes: List):
+    """Consecutive (workload, policy) groups of job/trial outcomes,
+    in plan order — one group per future table row family."""
+    groups: List[Tuple[WorkloadSpec, SystemPolicySpec, List]] = []
+    for step, outcome in zip(plan.steps, outcomes):
+        if not isinstance(step, (JobStep, FixedTrialStep)):
+            continue
+        if (
+            groups
+            and groups[-1][0] == step.workload
+            and groups[-1][1] == step.policy
+        ):
+            groups[-1][2].append(outcome)
+        else:
+            groups.append((step.workload, step.policy, [outcome]))
+    return groups
+
+
+def metrics_by_system_collector(
+    exhibit: Optional[str] = None,
+    title: Optional[str] = None,
+    notes_fn: Optional[Callable[[ScenarioPlan], str]] = None,
+) -> Collector:
+    """Generic accuracy/training/tuning/energy table (Fig 11/12 shape)."""
+
+    def collect(plan: ScenarioPlan, outcomes: List) -> ExperimentResult:
+        scenario = plan.scenario
+        result = ExperimentResult(
+            exhibit=exhibit or scenario.exhibit or scenario.name,
+            title=title or scenario.title or scenario.name,
+            columns=[
+                "workload",
+                "system",
+                "accuracy_pct",
+                "training_time_s",
+                "tuning_time_s",
+                "tuning_energy_kj",
+            ],
+            notes=notes_fn(plan)
+            if notes_fn
+            else f"mean over {len(plan.seeds)} seeds; dedicated cluster per job",
+        )
+        for workload, policy, runs in _grouped_jobs(plan, outcomes):
+            result.add_row(
+                workload=workload.name,
+                system=policy.label,
+                accuracy_pct=100.0 * mean(r.best_accuracy for r in runs),
+                training_time_s=mean(r.best_training_time_s for r in runs),
+                tuning_time_s=mean(r.tuning_time_s for r in runs),
+                tuning_energy_kj=mean(r.tuning_energy_j for r in runs) / 1000.0,
+            )
+        return result
+
+    return collect
+
+
+def shared_tenancy_collector(
+    exhibit: Optional[str] = None,
+    title: Optional[str] = None,
+    notes_fn: Optional[Callable[[ScenarioPlan], str]] = None,
+) -> Collector:
+    """Generic multi-tenancy table: response/queue/failures per system."""
+
+    def collect(plan: ScenarioPlan, outcomes: List) -> ExperimentResult:
+        scenario = plan.scenario
+        tenancy = scenario.tenancy
+        num_jobs = tenancy.scaled_jobs(plan.scale)
+        result = ExperimentResult(
+            exhibit=exhibit or scenario.exhibit or scenario.name,
+            title=title or scenario.title or scenario.name,
+            columns=[
+                "system",
+                "response_s",
+                "queue_wait_s",
+                "finished_trials",
+                "failed_trials",
+            ],
+            notes=notes_fn(plan)
+            if notes_fn
+            else (
+                f"{num_jobs} jobs, exp. interarrival "
+                f"{tenancy.mean_interarrival_s:.0f}s, "
+                f"{tenancy.max_concurrent_jobs} concurrent jobs, "
+                f"{100 * tenancy.unseen_fraction:.0f}% unseen"
+            ),
+        )
+        for step, trace in zip(plan.steps, outcomes):
+            if not isinstance(step, TraceStep):
+                continue
+            result.add_row(
+                system=step.policy.label,
+                response_s=trace.mean_response_time_s(),
+                queue_wait_s=trace.mean_queue_wait_s(),
+                finished_trials=sum(r.result.num_trials for r in trace.records),
+                failed_trials=sum(r.result.num_failures for r in trace.records),
+            )
+        return result
+
+    return collect
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+
+class ScenarioRunner:
+    """Executes one scenario (or registry definition) through the four
+    phases. Accepts either a bare :class:`Scenario` (generic collector
+    chosen by tenancy mode) or a registered definition carrying its own
+    plan/collect functions."""
+
+    def __init__(
+        self,
+        scenario,
+        collect: Optional[Collector] = None,
+        plan_fn: Optional[PlanFn] = None,
+    ):
+        # Late import: registry imports this module.
+        from .registry import ScenarioDefinition
+
+        if isinstance(scenario, ScenarioDefinition):
+            definition = scenario
+            scenario = definition.scenario
+            collect = collect or definition.collect
+            plan_fn = plan_fn or definition.plan_fn
+        self.scenario: Scenario = scenario
+        self._plan_fn = plan_fn
+        if collect is None:
+            collect = (
+                shared_tenancy_collector()
+                if scenario.tenancy.shared
+                else metrics_by_system_collector()
+            )
+        self._collect = collect
+        #: one long-lived PipeTune session per policy, shared across
+        #: every dedicated-tenancy step of one execute() call.
+        self._sessions: Dict[SystemPolicySpec, object] = {}
+        self._base_seed = 0
+
+    # -- phase 1: plan ------------------------------------------------------
+    def plan(self, scale: float = 1.0, seed: int = 0) -> ScenarioPlan:
+        scenario = self.scenario
+        seeds = tuple(seed + s for s in seeds_for(scale, scenario.repetitions))
+        if self._plan_fn is not None:
+            steps = tuple(self._plan_fn(scenario, scale, seed))
+        elif scenario.tenancy.shared:
+            num_jobs = scenario.tenancy.scaled_jobs(scale)
+            steps = tuple(
+                TraceStep(policy=policy, num_jobs=num_jobs, seed=seed)
+                for policy in scenario.systems
+            )
+        else:
+            built: List[Step] = []
+            for name in scenario.workloads:
+                workload = get_workload(name)
+                for policy in scenario.systems:
+                    step_cls = FixedTrialStep if policy.kind == "fixed" else JobStep
+                    built.extend(
+                        step_cls(workload=workload, policy=policy, seed=s)
+                        for s in seeds
+                    )
+            steps = tuple(built)
+        return ScenarioPlan(
+            scenario=scenario, scale=scale, seed=seed, seeds=seeds, steps=steps
+        )
+
+    # -- phase 2: validate --------------------------------------------------
+    def validate(self, plan: Optional[ScenarioPlan] = None) -> None:
+        issues = self.scenario.problems()
+        if self.scenario.kind == "analysis" and self._plan_fn is None:
+            issues.append("analysis scenario needs a plan function")
+        if plan is not None and not plan.steps:
+            issues.append("plan resolved to zero steps")
+        if issues:
+            raise ScenarioError(self.scenario.name, issues)
+
+    # -- phase 3: execute ---------------------------------------------------
+    def execute(self, plan: ScenarioPlan) -> List:
+        self._sessions = {}
+        self._base_seed = plan.seed
+        return [self._execute_step(step, plan) for step in plan.steps]
+
+    @property
+    def sessions(self):
+        """PipeTune sessions created by the last :meth:`execute`, keyed
+        by policy label (one shared session per pipetune policy)."""
+        return {policy.label: session for policy, session in self._sessions.items()}
+
+    def _execute_step(self, step: Step, plan: ScenarioPlan):
+        if isinstance(step, JobStep):
+            return self._run_job(step)
+        if isinstance(step, FixedTrialStep):
+            return self._run_fixed_trial(step)
+        if isinstance(step, TraceStep):
+            return self._run_trace(step)
+        return step.fn(plan.scale, plan.seed)
+
+    def _session_for(self, policy: SystemPolicySpec, shared: bool = True):
+        if not shared:
+            return self._fresh_session(policy)
+        session = self._sessions.get(policy)
+        if session is None:
+            session = self._sessions[policy] = self._fresh_session(policy)
+        return session
+
+    def _fresh_session(self, policy: SystemPolicySpec):
+        cluster = self.scenario.cluster
+        session = session_for_cluster(
+            nodes=cluster.nodes,
+            cores_per_node=cluster.cores_per_node,
+            memory_gb_per_node=cluster.memory_gb_per_node,
+            seed=self._base_seed,
+        )
+        warm = _resolve_warm_start(self.scenario, policy)
+        if warm:
+            session.warm_start(warm)
+        return session
+
+    def _run_job(self, step: JobStep) -> HptResult:
+        session = None
+        if step.policy.kind == "pipetune":
+            session = self._session_for(step.policy)
+        spec = build_job_spec(
+            self.scenario, step.policy, step.workload, step.seed, session=session
+        )
+        env = Environment()
+        cluster = self.scenario.cluster.build(env)
+        process = run_hpt_job(env, cluster, spec)
+        env.run()
+        return process.value
+
+    def _run_fixed_trial(self, step: FixedTrialStep):
+        env = Environment()
+        cluster = self.scenario.cluster.build(env)
+        trial_name = step.policy.name or step.policy.label
+        process = env.process(
+            run_trial(
+                env,
+                cluster,
+                trial_id=f"{trial_name}-{step.seed}",
+                workload=step.workload,
+                hyper=step.policy.hyper_params(),
+                system=step.policy.system_params(),
+            )
+        )
+        env.run()
+        return process.value
+
+    def _run_trace(self, step: TraceStep) -> MultiTenancyResult:
+        scenario = self.scenario
+        tenancy = scenario.tenancy
+        env = Environment()
+        cluster = scenario.cluster.build(env)
+        groups: Dict[str, List[WorkloadSpec]] = {}
+        for name in scenario.workloads:
+            workload = get_workload(name)
+            groups.setdefault(workload.workload_type, []).append(workload)
+        arrivals = generate_arrivals(
+            list(groups.values()),
+            num_jobs=step.num_jobs,
+            mean_interarrival_s=tenancy.mean_interarrival_s,
+            unseen_fraction=tenancy.unseen_fraction,
+            seed=step.seed,
+        )
+        policy = step.policy
+        # every trace is an isolated deployment: its own session.
+        session = (
+            self._session_for(policy, shared=False)
+            if policy.kind == "pipetune"
+            else None
+        )
+
+        def factory(workload: WorkloadSpec, arrival) -> HptJobSpec:
+            return build_job_spec(
+                scenario, policy, workload, step.seed + arrival.index, session=session
+            )
+
+        return run_multi_tenancy(
+            env,
+            cluster,
+            arrivals,
+            factory,
+            max_concurrent_jobs=tenancy.max_concurrent_jobs,
+        )
+
+    # -- phase 4: collect ---------------------------------------------------
+    def collect(self, plan: ScenarioPlan, outcomes: List) -> ExperimentResult:
+        return self._collect(plan, outcomes)
+
+    # -- all phases ---------------------------------------------------------
+    def run(self, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+        plan = self.plan(scale=scale, seed=seed)
+        self.validate(plan)
+        outcomes = self.execute(plan)
+        return self.collect(plan, outcomes)

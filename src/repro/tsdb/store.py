@@ -14,15 +14,18 @@ same order bisect insertion produced) on its next read, keeping range
 queries O(log n + k).
 
 Field queries (:meth:`~TimeSeriesStore.field_values` and
-:meth:`~TimeSeriesStore.aggregate_windows` without a tag filter) are
-served from a lazily built *columnar cache*: per (measurement, field),
-a numpy time column plus the field's values extracted once, in time
-order. Writes invalidate the measurement's columns. Window bucketing
-runs vectorised over the time column; the aggregation itself applies
-the exact same aggregator callables to the exact same value objects in
-the same order as the point-by-point path, so results are
-bit-identical (numpy's pairwise ``add.reduce`` is deliberately NOT
-used for sums — it rounds differently from Python's sequential sum).
+:meth:`~TimeSeriesStore.aggregate_windows`) are served from a lazily
+built *columnar cache*: per (measurement, field, tag filter), a numpy
+time column plus the field's values extracted once, in time order.
+Tagged queries get their own sub-columns — the tag signature is part
+of the cache key — so per-node power queries hit the vectorized path
+exactly like untagged ones. Writes invalidate the measurement's
+columns. Window bucketing runs vectorised over the time column; the
+aggregation itself applies the exact same aggregator callables to the
+exact same value objects in the same order as the point-by-point path,
+so results are bit-identical (numpy's pairwise ``add.reduce`` is
+deliberately NOT used for sums — it rounds differently from Python's
+sequential sum).
 """
 
 from __future__ import annotations
@@ -57,9 +60,15 @@ class TimeSeriesStore:
         self._times: Dict[str, List[float]] = defaultdict(list)
         #: measurements holding out-of-order appends awaiting a re-sort.
         self._unsorted: set = set()
-        #: per-measurement columnar cache: {field: (time_array, values)}
-        #: built lazily on first field query, dropped on write.
-        self._columns: Dict[str, Dict[str, Tuple[np.ndarray, list]]] = {}
+        #: per-measurement columnar cache keyed by (field, tag
+        #: signature): {(field, sig): (time_array, values)}, built
+        #: lazily on first field query, dropped on write. The empty
+        #: signature () is the untagged column; tagged queries get
+        #: per-(field, tags) sub-columns.
+        self._columns: Dict[str, Dict[Tuple[str, tuple], Tuple[np.ndarray, list]]] = {}
+        #: per-measurement time arrays of *all* points matching a tag
+        #: signature (bucket-origin anchors for tagged aggregation).
+        self._tag_times: Dict[str, Dict[tuple, np.ndarray]] = {}
 
     # -- writes -----------------------------------------------------------
     def write(self, point: Point) -> None:
@@ -74,6 +83,8 @@ class TimeSeriesStore:
         self._series[measurement].append(point)
         if measurement in self._columns:
             del self._columns[measurement]
+        if measurement in self._tag_times:
+            del self._tag_times[measurement]
 
     def _ensure_sorted(self, measurement: str) -> None:
         if measurement not in self._unsorted:
@@ -83,32 +94,69 @@ class TimeSeriesStore:
         self._times[measurement] = [p.time for p in points]
         self._unsorted.discard(measurement)
         # a resort is always preceded by a write (which already dropped
-        # the column cache) — popping again is just defensive.
+        # the column caches) — popping again is just defensive.
         self._columns.pop(measurement, None)
+        self._tag_times.pop(measurement, None)
 
-    def _column(self, measurement: str, field: str) -> Tuple[np.ndarray, list]:
+    @staticmethod
+    def _tag_signature(tags: Optional[Mapping[str, str]]) -> tuple:
+        return tuple(sorted(tags.items())) if tags else ()
+
+    def _column(
+        self,
+        measurement: str,
+        field: str,
+        tags: Optional[Mapping[str, str]] = None,
+    ) -> Tuple[np.ndarray, list]:
         """The (time array, value list) column of one field, cached.
 
         Values are the original field objects (ints stay ints), in time
-        order, restricted to points that carry the field — so any
-        consumer applying the same operations to them gets results
-        bit-identical to iterating the points directly.
+        order, restricted to points that carry the field (and match
+        ``tags``, when given) — so any consumer applying the same
+        operations to them gets results bit-identical to iterating the
+        points directly.
         """
+        sig = self._tag_signature(tags)
         cols = self._columns.get(measurement)
         if cols is None:
             cols = self._columns[measurement] = {}
-        col = cols.get(field)
+        col = cols.get((field, sig))
         if col is None:
             self._ensure_sorted(measurement)
             times: List[float] = []
             values: list = []
             for p in self._series.get(measurement, ()):
+                if sig and not p.matches(tags):
+                    continue
                 v = p.fields.get(field)
                 if v is not None:
                     times.append(p.time)
                     values.append(v)
-            col = cols[field] = (np.asarray(times, dtype=np.float64), values)
+            col = cols[(field, sig)] = (np.asarray(times, dtype=np.float64), values)
         return col
+
+    def _tagged_times(
+        self, measurement: str, tags: Mapping[str, str]
+    ) -> np.ndarray:
+        """Time array of every point matching ``tags`` (cached).
+
+        This is the tagged counterpart of the full ``self._times``
+        list: the bucket-origin anchor for tagged window aggregation
+        (a matching point without the queried field still anchors the
+        grid, exactly as the point-by-point path behaved)."""
+        sig = self._tag_signature(tags)
+        cache = self._tag_times.get(measurement)
+        if cache is None:
+            cache = self._tag_times[measurement] = {}
+        arr = cache.get(sig)
+        if arr is None:
+            self._ensure_sorted(measurement)
+            arr = np.asarray(
+                [p.time for p in self._series.get(measurement, ()) if p.matches(tags)],
+                dtype=np.float64,
+            )
+            cache[sig] = arr
+        return arr
 
     def write_many(self, points: Iterable[Point]) -> int:
         count = 0
@@ -151,13 +199,7 @@ class TimeSeriesStore:
         end: Optional[float] = None,
     ) -> List[float]:
         """The values of one field over a query window, in time order."""
-        if tags:
-            return [
-                p.fields[field]
-                for p in self.query(measurement, tags=tags, start=start, end=end)
-                if field in p.fields
-            ]
-        times, values = self._column(measurement, field)
+        times, values = self._column(measurement, field, tags)
         lo = 0 if start is None else int(np.searchsorted(times, start, side="left"))
         hi = (
             len(values)
@@ -189,37 +231,38 @@ class TimeSeriesStore:
             raise ValueError(
                 f"unknown aggregator {agg!r}; choose from {sorted(_AGGREGATORS)}"
             ) from None
+        # Columnar fast path (tagged and untagged): bucket indices and
+        # segment boundaries are computed vectorised over the cached
+        # time column; each bucket then applies the aggregator to a
+        # slice of the original value objects — the identical
+        # computation, minus the Python loop over points.  The bucket
+        # origin comes from the measurement's (tag-matching) point
+        # list (a point without this field still anchors the grid),
+        # exactly as the point-by-point path behaves.
         if tags:
-            points = self.query(measurement, tags=tags, start=start, end=end)
-            if not points:
+            tag_times = self._tagged_times(measurement, tags)
+            lo_all = (
+                0 if start is None else int(np.searchsorted(tag_times, start, "left"))
+            )
+            hi_all = (
+                len(tag_times)
+                if end is None
+                else int(np.searchsorted(tag_times, end, "left"))
+            )
+            if hi_all <= lo_all:
                 return []
-            origin = start if start is not None else points[0].time
-            buckets: Dict[int, List[float]] = defaultdict(list)
-            for p in points:
-                if field not in p.fields:
-                    continue
-                buckets[int((p.time - origin) // window_s)].append(p.fields[field])
-            return [
-                (origin + index * window_s, aggregator(values))
-                for index, values in sorted(buckets.items())
-            ]
-        # Columnar fast path: bucket indices and segment boundaries are
-        # computed vectorised over the cached time column; each bucket
-        # then applies the aggregator to a slice of the original value
-        # objects — the identical computation, minus the Python loop
-        # over points.  The bucket origin comes from the measurement's
-        # full point list (a point without this field still anchors the
-        # grid), exactly as the point-by-point path behaves.
-        self._ensure_sorted(measurement)
-        all_times = self._times.get(measurement, [])
-        lo_all = 0 if start is None else bisect.bisect_left(all_times, start)
-        hi_all = (
-            len(all_times) if end is None else bisect.bisect_left(all_times, end)
-        )
-        if hi_all <= lo_all:
-            return []
-        origin = start if start is not None else all_times[lo_all]
-        times, values = self._column(measurement, field)
+            origin = start if start is not None else float(tag_times[lo_all])
+        else:
+            self._ensure_sorted(measurement)
+            all_times = self._times.get(measurement, [])
+            lo_all = 0 if start is None else bisect.bisect_left(all_times, start)
+            hi_all = (
+                len(all_times) if end is None else bisect.bisect_left(all_times, end)
+            )
+            if hi_all <= lo_all:
+                return []
+            origin = start if start is not None else all_times[lo_all]
+        times, values = self._column(measurement, field, tags)
         lo = 0 if start is None else int(np.searchsorted(times, start, side="left"))
         hi = (
             len(values)

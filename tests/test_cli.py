@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -11,10 +13,12 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_run_defaults(self):
+        # None means "resolve per exhibit": 1.0/0 when printing,
+        # the exhibit's canonical parameters when writing --out.
         args = build_parser().parse_args(["run", "fig01"])
         assert args.exhibit == "fig01"
-        assert args.scale == 1.0
-        assert args.seed == 0
+        assert args.scale is None
+        assert args.seed is None
 
     def test_tune_system_choices(self):
         with pytest.raises(SystemExit):
@@ -41,6 +45,42 @@ class TestCommands:
         assert main(["run", "fig01", "--out", out_dir]) == 0
         assert (tmp_path / "tables" / "fig01.txt").exists()
 
+    def test_run_out_written_through_golden_serializer(self, tmp_path, capsys):
+        from repro.experiments import golden
+
+        out_dir = str(tmp_path / "tables")
+        assert main(["run", "fig01", "--out", out_dir]) == 0
+        written = (tmp_path / "tables" / "fig01.txt").read_text()
+        with open(golden.committed_path("fig01"), encoding="utf-8") as handle:
+            assert written == handle.read()
+
+    def test_run_out_defaults_to_canonical_scale(self, tmp_path, capsys):
+        # fig05's canonical scale is 0.5, not 1.0: unspecified --scale
+        # with --out must resolve to it and reproduce the golden trace.
+        from repro.experiments import golden
+
+        out_dir = str(tmp_path / "tables")
+        assert main(["run", "fig05", "--out", out_dir]) == 0
+        written = (tmp_path / "tables" / "fig05.txt").read_text()
+        with open(golden.committed_path("fig05"), encoding="utf-8") as handle:
+            assert written == handle.read()
+
+    def test_run_out_refuses_non_canonical_params(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "tables")
+        assert main(["run", "fig01", "--scale", "0.5", "--out", out_dir]) == 2
+        err = capsys.readouterr().err
+        assert "non-canonical" in err and "--force" in err
+        assert not (tmp_path / "tables" / "fig01.txt").exists()
+
+    def test_run_out_force_overrides_with_warning(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "tables")
+        assert (
+            main(["run", "fig01", "--scale", "0.5", "--out", out_dir, "--force"])
+            == 0
+        )
+        assert "warning" in capsys.readouterr().err
+        assert (tmp_path / "tables" / "fig01.txt").exists()
+
     def test_tune_v1(self, capsys):
         assert main(["tune", "lenet-mnist", "--system", "v1"]) == 0
         out = capsys.readouterr().out
@@ -55,3 +95,93 @@ class TestCommands:
     def test_tune_unknown_workload(self, capsys):
         assert main(["tune", "nope"]) == 2
         assert "unknown workload" in capsys.readouterr().err
+
+
+class TestScenarioCommands:
+    def test_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "fig14" in out
+        assert "asha-distributed-cnn" in out and "bursty-tenants-oom" in out
+
+    def test_list_json_schema(self, capsys):
+        assert main(["scenario", "list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert len(entries) >= 14
+        required = {
+            "name",
+            "source",
+            "kind",
+            "exhibit",
+            "title",
+            "description",
+            "workloads",
+            "systems",
+            "algorithm",
+            "tenancy",
+            "repetitions",
+        }
+        for entry in entries:
+            assert required <= set(entry)
+        assert {e["source"] for e in entries} == {"paper", "novel"}
+
+    def test_describe(self, capsys):
+        assert main(["scenario", "describe", "fig13"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 13" in out
+        assert "tenancy    : shared" in out
+        assert "trace tune-v1" in out
+
+    def test_describe_json_roundtrips_scenario(self, capsys):
+        from repro.scenarios import SCENARIO_REGISTRY, Scenario
+
+        assert main(["scenario", "describe", "fig11", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        restored = Scenario.from_dict(payload["scenario"])
+        assert restored == SCENARIO_REGISTRY["fig11"].scenario
+        assert payload["plan"]["steps"]
+
+    def test_describe_unknown(self, capsys):
+        assert main(["scenario", "describe", "fig99"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_json_output(self, capsys):
+        assert main(["scenario", "run", "fig01", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "fig01"
+        assert payload["result"]["exhibit"] == "Figure 1"
+        assert payload["result"]["rows"]
+
+    def test_run_check_matches_golden(self, capsys):
+        assert main(["scenario", "run", "fig01", "--check"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_run_check_requires_golden(self, capsys):
+        assert main(["scenario", "run", "asha-distributed-cnn", "--check"]) == 2
+        assert "no committed golden trace" in capsys.readouterr().err
+
+    def test_run_out_guard_for_paper_scenarios(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "tables")
+        assert (
+            main(["scenario", "run", "fig01", "--scale", "0.5", "--out", out_dir])
+            == 2
+        )
+        assert "--force" in capsys.readouterr().err
+
+    def test_run_novel_scenario_writes_out(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "tables")
+        assert (
+            main(
+                [
+                    "scenario",
+                    "run",
+                    "bursty-tenants-oom",
+                    "--scale",
+                    "0.34",
+                    "--out",
+                    out_dir,
+                ]
+            )
+            == 0
+        )
+        assert (tmp_path / "tables" / "bursty-tenants-oom.txt").exists()

@@ -227,14 +227,16 @@ class TestLazySortFastPath:
 # Columnar fast path: property tests against the point-by-point reference
 # ---------------------------------------------------------------------------
 
-def _reference_aggregate(store, measurement, field, window_s, agg, start, end):
+def _reference_aggregate(
+    store, measurement, field, window_s, agg, start, end, tags=None
+):
     """The historical point-by-point aggregation, kept as an oracle."""
     from collections import defaultdict
 
     from repro.tsdb.store import _AGGREGATORS
 
     aggregator = _AGGREGATORS[agg]
-    points = store.query(measurement, start=start, end=end)
+    points = store.query(measurement, tags=tags, start=start, end=end)
     if not points:
         return []
     origin = start if start is not None else points[0].time
@@ -321,7 +323,7 @@ class TestColumnarAggregationProperties:
         ]
         assert store.field_values("power", "v") == [1.0, 2.0, 3.0]
 
-    def test_tagged_queries_bypass_column_cache(self):
+    def test_tagged_queries_served_from_sub_columns(self):
         store = TimeSeriesStore()
         store.write(pt(time=0.0, tags={"node": "a"}, v=1.0))
         store.write(pt(time=1.0, tags={"node": "b"}, v=5.0))
@@ -329,3 +331,80 @@ class TestColumnarAggregationProperties:
         assert store.aggregate_windows(
             "power", "v", 60.0, tags={"node": "a"}
         ) == [(0.0, 1.0)]
+        # the sub-column is cached per (field, tag signature) ...
+        assert ("v", (("node", "a"),)) in store._columns["power"]
+        # ... keyed independently of the tag dict's iteration order ...
+        store.write(pt(time=2.0, tags={"node": "a", "rack": "r1"}, v=7.0))
+        first = store.field_values("power", "v", tags={"node": "a", "rack": "r1"})
+        second = store.field_values("power", "v", tags={"rack": "r1", "node": "a"})
+        assert first == second == [7.0]
+        # ... and a write drops it (fresh points become visible).
+        store.write(pt(time=3.0, tags={"node": "b"}, v=9.0))
+        assert store.field_values("power", "v", tags={"node": "b"}) == [5.0, 9.0]
+
+
+class TestTaggedColumnarProperties:
+    """Tagged sub-columns are bit-identical to the point-by-point path
+    (the ROADMAP per-node power query pattern)."""
+
+    @given(
+        raw=_point_strategy,
+        nodes=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=60),
+        window=st.floats(min_value=1e-3, max_value=5e3, allow_nan=False),
+        agg=st.sampled_from(["mean", "sum", "min", "max", "count", "first", "last"]),
+        query_node=st.sampled_from(["a", "b", "c"]),
+        bounds=st.tuples(
+            st.one_of(st.none(), st.floats(min_value=0.0, max_value=1e4)),
+            st.one_of(st.none(), st.floats(min_value=0.0, max_value=1e4)),
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_tagged_aggregation_matches_point_by_point(
+        self, raw, nodes, window, agg, query_node, bounds
+    ):
+        store = TimeSeriesStore()
+        for (time, value, has_field), node in zip(raw, nodes):
+            fields = {"v": value} if has_field else {"other": 1.0}
+            store.write(
+                Point(
+                    measurement="m", time=time, tags={"node": node}, fields=fields
+                )
+            )
+        start, end = bounds
+        if start is not None and end is not None and end < start:
+            start, end = end, start
+        tags = {"node": query_node}
+        expected = _reference_aggregate(
+            store, "m", "v", window, agg, start, end, tags=tags
+        )
+        got = store.aggregate_windows(
+            "m", "v", window_s=window, agg=agg, tags=tags, start=start, end=end
+        )
+        assert got == expected
+        for (t_got, v_got), (t_exp, v_exp) in zip(got, expected):
+            assert repr(t_got) == repr(t_exp)
+            assert repr(v_got) == repr(v_exp)
+            assert type(v_got) is type(v_exp)
+
+    @given(
+        raw=_point_strategy,
+        nodes=st.lists(st.sampled_from(["a", "b"]), min_size=1, max_size=60),
+        query_node=st.sampled_from(["a", "b"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_tagged_field_values_match_query_projection(
+        self, raw, nodes, query_node
+    ):
+        store = TimeSeriesStore()
+        for (time, value, has_field), node in zip(raw, nodes):
+            fields = {"v": value} if has_field else {"other": 1.0}
+            store.write(
+                Point(
+                    measurement="m", time=time, tags={"node": node}, fields=fields
+                )
+            )
+        tags = {"node": query_node}
+        expected = [
+            p.fields["v"] for p in store.query("m", tags=tags) if "v" in p.fields
+        ]
+        assert store.field_values("m", "v", tags=tags) == expected
