@@ -10,6 +10,12 @@ This is the operator entry point around
         regenerate every exhibit in memory and byte-diff it against the
         committed copy; exit 1 on any difference (CI's exhibits job);
 
+    PYTHONPATH=src python scripts/regenerate_exhibits.py --check --jobs 4
+        same, but regenerate up to 4 exhibits concurrently on a
+        process pool — byte-identical output, wall-clock divided by
+        the core count (the total is printed so the speedup over
+        ``--jobs 1`` is measurable);
+
     PYTHONPATH=src python scripts/regenerate_exhibits.py --update
         rewrite the committed files in place (the one-time re-baseline
         step after an intentional stream change — commit the diff
@@ -19,7 +25,8 @@ This is the operator entry point around
         restrict either mode to a subset.
 
 See benchmarks/README.md ("Determinism contract & re-baseline
-procedure") for when a re-baseline is legitimate.
+procedure") for when a re-baseline is legitimate and why worker/job
+counts can never change the bytes.
 """
 
 from __future__ import annotations
@@ -57,28 +64,38 @@ def main() -> None:
         help="restrict to these exhibits (default: all of EXHIBIT_RUNS)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="regenerate up to N exhibits concurrently (process pool; "
+        "the rendered bytes are identical for any N)",
+    )
+    parser.add_argument(
         "--diff-lines",
         type=int,
         default=20,
         help="max unified-diff lines to print per mismatch (default 20)",
     )
     args = parser.parse_args()
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     names = golden.resolve_names(args.only)
+    wall_started = time.perf_counter()
 
     if args.update:
-        for name in names:
-            start = time.perf_counter()
-            path = golden.regenerate([name])[name]
-            elapsed = time.perf_counter() - start
+        for name, content, elapsed in golden.render_many(names, jobs=args.jobs):
+            path = golden.write_trace(name, content)
             print(f"{name:8s} written {path} ({elapsed:.1f}s)")
+        wall = time.perf_counter() - wall_started
+        print(f"rewrote {len(names)} exhibits in {wall:.1f}s wall (jobs={args.jobs})")
         return
 
+    diffs = golden.check(names, jobs=args.jobs)
+    wall = time.perf_counter() - wall_started
     failed = []
     for name in names:
-        start = time.perf_counter()
-        diff = golden.check([name])[name]
-        elapsed = time.perf_counter() - start
-        print(f"{name:8s} {diff.status:8s} ({elapsed:.1f}s)")
+        diff = diffs[name]
+        print(f"{name:8s} {diff.status:8s} ({diff.elapsed_s:.1f}s)")
         if diff.status == "ok":
             continue
         failed.append(name)
@@ -107,7 +124,10 @@ def main() -> None:
             "if the stream change is intentional, re-baseline with "
             "--update and commit the diff"
         )
-    print(f"all {len(names)} exhibits byte-identical to their golden traces")
+    print(
+        f"all {len(names)} exhibits byte-identical to their golden traces "
+        f"({wall:.1f}s wall, jobs={args.jobs})"
+    )
 
 
 if __name__ == "__main__":

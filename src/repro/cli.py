@@ -6,6 +6,13 @@ The scenario API is the front door::
     python -m repro.cli scenario describe fig11 [--json]
     python -m repro.cli scenario run bursty-tenants-oom --scale 0.4 --json
     python -m repro.cli scenario run fig09 --check   # diff vs golden trace
+    python -m repro.cli scenario run fig11 --workers 4   # process pool
+
+Parameter sweeps expand one scenario into a validated variant matrix
+and execute it, optionally across a worker pool::
+
+    python -m repro.cli sweep list [--json]
+    python -m repro.cli sweep run arrival-rate --scale 0.4 --workers 4
 
 Legacy entry points stay available::
 
@@ -34,13 +41,17 @@ import numpy as np
 from .experiments import EXHIBIT_RUNS, EXHIBITS, golden
 from .scenarios import (
     SCENARIO_REGISTRY,
+    SWEEP_REGISTRY,
     ScenarioError,
+    SweepError,
     execute_job,
     get_definition,
+    get_sweep,
     make_pipetune_session,
     make_pipetune_spec,
     make_v1_spec,
     make_v2_spec,
+    run_sweep,
 )
 from .workloads.registry import ALL_WORKLOADS, get_workload, type12_workloads
 
@@ -221,6 +232,7 @@ def _cmd_scenario_describe(args) -> int:
         return 2
     runner = definition.runner()
     plan = runner.plan(scale=args.scale, seed=args.seed)
+    chains = plan.chains()
     if args.json:
         _print_json(
             {
@@ -231,6 +243,15 @@ def _cmd_scenario_describe(args) -> int:
                     "seed": plan.seed,
                     "seeds": list(plan.seeds),
                     "steps": plan.describe(),
+                    "chains": [
+                        {
+                            "index": chain.index,
+                            "shares_session": chain.shares_session,
+                            "steps": list(chain.indices),
+                            "labels": [step.label for step in chain.steps],
+                        }
+                        for chain in chains
+                    ],
                 },
             }
         )
@@ -266,6 +287,15 @@ def _cmd_scenario_describe(args) -> int:
     print(f"plan       : {len(plan.steps)} step(s) at scale {plan.scale}")
     for line in plan.describe():
         print(f"  {line}")
+    shared = sum(1 for chain in chains if chain.shares_session)
+    print(
+        f"chains     : {len(chains)} schedulable chain(s) "
+        f"({shared} with a shared PipeTune session); --workers N runs "
+        "them on a process pool"
+    )
+    for chain in chains:
+        steps = ", ".join(str(i) for i in chain.indices)
+        print(f"  {chain.label}: steps [{steps}]")
     return 0
 
 
@@ -274,7 +304,7 @@ def _cmd_scenario_run(args) -> int:
     if definition is None:
         return 2
     if args.check:
-        return _scenario_check(args.name)
+        return _scenario_check(args.name, workers=args.workers)
     canonical = EXHIBIT_RUNS.get(args.name)
     scale, seed = args.scale, args.seed
     if scale is None:
@@ -303,7 +333,7 @@ def _cmd_scenario_run(args) -> int:
     runner = definition.runner()
     started = time.time()
     try:
-        result = runner.run(scale=scale, seed=seed)
+        result = runner.run(scale=scale, seed=seed, workers=args.workers)
     except ScenarioError as error:
         print(error, file=sys.stderr)
         return 2
@@ -315,6 +345,7 @@ def _cmd_scenario_run(args) -> int:
                 "source": definition.source,
                 "scale": scale,
                 "seed": seed,
+                "workers": args.workers or 1,
                 "elapsed_s": round(elapsed, 3),
                 "result": result.as_dict(),
             }
@@ -329,7 +360,7 @@ def _cmd_scenario_run(args) -> int:
     return 0
 
 
-def _scenario_check(name: str) -> int:
+def _scenario_check(name: str, workers: Optional[int] = None) -> int:
     """Re-run a committed exhibit scenario at its canonical parameters
     and byte-diff the rendered table against the golden trace."""
     if name not in EXHIBIT_RUNS:
@@ -339,7 +370,7 @@ def _scenario_check(name: str) -> int:
             file=sys.stderr,
         )
         return 2
-    diff = golden.check([name])[name]
+    diff = golden.check([name], workers=workers)[name]
     print(f"{name}: {diff.status}")
     if diff.status == "ok":
         return 0
@@ -355,6 +386,67 @@ def _scenario_check(name: str) -> int:
         ):
             sys.stderr.write(line)
     return 1
+
+
+# ---------------------------------------------------------------------------
+# Sweep commands
+# ---------------------------------------------------------------------------
+
+
+def _sweep_summary(sweep) -> dict:
+    return {
+        "name": sweep.name,
+        "scenario": sweep.scenario,
+        "title": sweep.title,
+        "description": sweep.description,
+        "axes": [axis.as_dict() for axis in sweep.axes],
+        "variants": sweep.grid_size,
+    }
+
+
+def _cmd_sweep_list(args) -> int:
+    if args.json:
+        _print_json([_sweep_summary(s) for s in SWEEP_REGISTRY.values()])
+        return 0
+    width = max(len(name) for name in SWEEP_REGISTRY)
+    for name, sweep in SWEEP_REGISTRY.items():
+        axes = " x ".join(f"{axis.path}({len(axis.values)})" for axis in sweep.axes)
+        print(
+            f"{name:<{width}}  {sweep.scenario:<22} "
+            f"{sweep.grid_size:>3} variants  {axes}"
+        )
+    return 0
+
+
+def _cmd_sweep_run(args) -> int:
+    try:
+        sweep = get_sweep(args.name)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    started = time.time()
+    try:
+        outcome = run_sweep(
+            sweep, scale=args.scale, seed=args.seed, workers=args.workers
+        )
+    except SweepError as error:
+        print(error, file=sys.stderr)
+        return 2
+    elapsed = time.time() - started
+    if args.json:
+        payload = outcome.as_dict()
+        payload["elapsed_s"] = round(elapsed, 3)
+        _print_json(payload)
+        return 0
+    for variant in outcome.outcomes:
+        print(f"=== {variant.name} ({variant.elapsed_s:.1f}s)")
+        print(variant.result.format_table())
+        print()
+    print(
+        f"[{sweep.name}: {len(outcome.outcomes)} variants, {elapsed:.1f}s "
+        f"wall, workers={outcome.workers}]"
+    )
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -452,7 +544,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="regenerate at canonical parameters and byte-diff against the "
         "committed golden trace (paper exhibits only)",
     )
+    s_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="execute the plan's chains on a process pool of N workers "
+        "(default: serial; results are identical for any N)",
+    )
     s_run.set_defaults(func=_cmd_scenario_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="parameter sweeps: scenario x grid -> variant matrix"
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    w_list = sweep_sub.add_parser("list", help="list registered sweeps")
+    w_list.add_argument("--json", action="store_true", help="structured output")
+    w_list.set_defaults(func=_cmd_sweep_list)
+
+    w_run = sweep_sub.add_parser("run", help="expand one sweep and run every variant")
+    w_run.add_argument("name")
+    w_run.add_argument("--scale", type=float, default=1.0)
+    w_run.add_argument("--seed", type=int, default=0)
+    w_run.add_argument("--json", action="store_true", help="structured output")
+    w_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run up to N variants concurrently on a process pool "
+        "(default: serial; results are identical for any N)",
+    )
+    w_run.set_defaults(func=_cmd_sweep_run)
     return parser
 
 

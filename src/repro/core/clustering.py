@@ -86,10 +86,46 @@ class KMeans:
             centroids.append(x[int(rng.choice(n, p=probs))])
         return np.array(centroids)
 
-    def _lloyd(self, x: np.ndarray, centroids: np.ndarray, rng: np.random.Generator):
+    def _lloyd(
+        self,
+        x: np.ndarray,
+        centroids: np.ndarray,
+        rng: np.random.Generator,
+        abandon_above: Optional[float] = None,
+    ):
+        """One Lloyd descent; ``None`` when abandoned as a sure loser.
+
+        Restart-level early abandonment: ``abandon_above`` carries the
+        best completed restart's inertia. The running inertia of a
+        descent decreases monotonically, so exceeding the bound
+        mid-descent proves nothing — the sound abandonment point is
+        the *assignment fixpoint* (labels unchanged between
+        iterations with every cluster non-empty), where the running
+        inertia IS the final inertia: the centroid update would
+        recompute bit-identical means, the shift would be exactly
+        zero, and the classic loop would only burn two more full
+        distance matrices re-deriving the same result. At that point
+        a restart at or above the bound can never win (ties keep the
+        earlier restart), so it is dropped before the final
+        recomputation; a winner returns the identical
+        (centroids, labels, inertia, per_point) the classic loop
+        produces — bit-for-bit (tests/test_clustering.py proves it).
+        """
+        previous_labels = None
         for _ in range(self.max_iter):
             d2 = pairwise_sq_distances(x, centroids)
             labels = d2.argmin(axis=1)
+            if (
+                previous_labels is not None
+                and np.array_equal(labels, previous_labels)
+                and np.bincount(labels, minlength=self.k).all()
+            ):
+                per_point = d2[np.arange(len(x)), labels]
+                inertia = float(per_point.sum())
+                if abandon_above is not None and inertia >= abandon_above:
+                    return None
+                return centroids, labels, inertia, per_point
+            previous_labels = labels
             new_centroids = centroids.copy()
             for j in range(self.k):
                 members = x[labels == j]
@@ -114,8 +150,14 @@ class KMeans:
         rng = rng_for("kmeans", self.seed)
         best = None
         for _ in range(self.n_init):
+            # Every restart consumes its k-means++ draws whether or not
+            # its descent is abandoned, so the stream is untouched.
             centroids = self._init_centroids(x, rng)
-            result = self._lloyd(x, centroids, rng)
+            result = self._lloyd(
+                x, centroids, rng, abandon_above=None if best is None else best[2]
+            )
+            if result is None:
+                continue
             if best is None or result[2] < best[2]:
                 best = result
         self.centroids, self.labels, self.inertia, per_point = best

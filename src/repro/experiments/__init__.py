@@ -4,6 +4,8 @@ Every module exposes ``run(scale=1.0, seed=0) -> ExperimentResult``;
 ``scale < 1`` shrinks seeds/repetitions for fast benchmark runs.
 """
 
+from typing import Optional
+
 from . import (
     fig01_cost,
     fig02_heatmap,
@@ -57,8 +59,11 @@ class ExhibitRun:
     def module(self):
         return EXHIBITS[self.name]
 
-    def run(self) -> ExperimentResult:
-        return self.module.run(scale=self.scale, seed=self.seed)
+    def run(self, workers: Optional[int] = None) -> ExperimentResult:
+        """Regenerate at the canonical parameters. ``workers > 1``
+        executes the underlying scenario on a process pool — the
+        rendered bytes are identical for any worker count."""
+        return self.module.run(scale=self.scale, seed=self.seed, workers=workers)
 
 
 #: canonical regeneration parameters for every committed exhibit.

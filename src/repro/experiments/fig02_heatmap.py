@@ -12,13 +12,17 @@ Thin shim over the declared ``fig02`` scenario
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..scenarios import run_scenario
 from ..scenarios.paper import BUCKETS, bucket_label  # noqa: F401  (re-export)
 from .harness import ExperimentResult
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    return run_scenario("fig02", scale=scale, seed=seed)
+def run(
+    scale: float = 1.0, seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
+    return run_scenario("fig02", scale=scale, seed=seed, workers=workers)
 
 
 def max_training_cv(result: ExperimentResult) -> float:

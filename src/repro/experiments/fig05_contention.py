@@ -16,6 +16,8 @@ are per-policy search-space overrides plus contention levels
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..scenarios import run_scenario
 from .harness import ExperimentResult
 
@@ -23,5 +25,7 @@ CORE_OPTIONS = (1, 2, 4, 8)
 JOB_OPTIONS = (2, 3, 4)  # total co-located jobs incl. the tuning job
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    return run_scenario("fig05", scale=scale, seed=seed)
+def run(
+    scale: float = 1.0, seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
+    return run_scenario("fig05", scale=scale, seed=seed, workers=workers)

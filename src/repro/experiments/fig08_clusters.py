@@ -13,13 +13,17 @@ campaign).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..scenarios import run_scenario
 from ..scenarios.paper import profile_campaign  # noqa: F401  (re-export)
 from .harness import ExperimentResult
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    return run_scenario("fig08", scale=scale, seed=seed)
+def run(
+    scale: float = 1.0, seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
+    return run_scenario("fig08", scale=scale, seed=seed, workers=workers)
 
 
 def cluster_purity(result: ExperimentResult) -> float:

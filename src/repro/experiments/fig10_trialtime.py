@@ -12,12 +12,16 @@ Thin shim over the declared ``fig10`` scenario
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..scenarios import run_scenario
 from .harness import ExperimentResult, mean
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    return run_scenario("fig10", scale=scale, seed=seed)
+def run(
+    scale: float = 1.0, seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
+    return run_scenario("fig10", scale=scale, seed=seed, workers=workers)
 
 
 def mean_trial_time(result: ExperimentResult, system: str) -> float:

@@ -12,14 +12,16 @@ Thin shim over the declared ``fig13`` scenario
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..scenarios import run_scenario
 from .harness import ExperimentResult
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    return run_scenario("fig13", scale=scale, seed=seed)
+def run(
+    scale: float = 1.0, seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
+    return run_scenario("fig13", scale=scale, seed=seed, workers=workers)
 
 
 def response_times(result: ExperimentResult) -> Dict[str, float]:

@@ -12,9 +12,13 @@ Thin shim over the declared ``fig14`` scenario
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..scenarios import run_scenario
 from .harness import ExperimentResult
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    return run_scenario("fig14", scale=scale, seed=seed)
+def run(
+    scale: float = 1.0, seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
+    return run_scenario("fig14", scale=scale, seed=seed, workers=workers)

@@ -20,8 +20,9 @@ re-baseline procedure").
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from . import EXHIBIT_RUNS
 
@@ -58,9 +59,29 @@ def write_trace(name: str, content: str, results_dir: Optional[str] = None) -> s
     return path
 
 
-def render(name: str) -> str:
-    """Regenerate one exhibit at its canonical (scale, seed) -> bytes."""
-    return render_result(EXHIBIT_RUNS[name].run())
+def render(name: str, workers: Optional[int] = None) -> str:
+    """Regenerate one exhibit at its canonical (scale, seed) -> bytes.
+
+    ``workers > 1`` runs the exhibit's scenario on a process-pool
+    backend; the determinism contract guarantees identical bytes for
+    any worker count (tests/test_scenarios_parallel.py proves it)."""
+    return render_result(EXHIBIT_RUNS[name].run(workers=workers))
+
+
+def _resolve_parallelism(
+    workers: Optional[int], jobs: Optional[int]
+) -> Tuple[Optional[int], Optional[int]]:
+    """Guard the two parallelism levels against nesting.
+
+    ``jobs`` fans whole exhibits out over a pool; ``workers``
+    parallelises inside one exhibit. Pool workers are daemonic and
+    cannot open nested pools, so combining both is an error."""
+    if jobs is not None and jobs > 1 and workers is not None and workers > 1:
+        raise ValueError(
+            "choose one parallelism level: jobs (across exhibits) or "
+            "workers (within one exhibit), not both"
+        )
+    return workers, jobs
 
 
 def resolve_names(names: Optional[Iterable[str]] = None) -> List[str]:
@@ -84,6 +105,8 @@ class ExhibitDiff:
     matches: bool
     committed_exists: bool
     regenerated: str
+    #: regeneration time of this exhibit (worker-side when pooled).
+    elapsed_s: float = 0.0
 
     @property
     def status(self) -> str:
@@ -92,31 +115,87 @@ class ExhibitDiff:
         return "ok" if self.matches else "DIFF"
 
 
-def check(names: Optional[Iterable[str]] = None) -> Dict[str, ExhibitDiff]:
-    """Regenerate exhibits and byte-diff each against the committed file."""
-    diffs: Dict[str, ExhibitDiff] = {}
-    for name in resolve_names(names):
-        regenerated = render(name)
-        path = committed_path(name)
-        exists = os.path.exists(path)
-        committed = None
-        if exists:
-            with open(path, "r", encoding="utf-8", newline="") as handle:
-                committed = handle.read()
-        diffs[name] = ExhibitDiff(
-            name=name,
-            matches=committed == regenerated,
-            committed_exists=exists,
-            regenerated=regenerated,
-        )
-    return diffs
+def _check_task(payload) -> ExhibitDiff:
+    """Regenerate one exhibit and byte-diff it (picklable pool task)."""
+    name, workers = payload
+    started = time.perf_counter()
+    regenerated = render(name, workers=workers)
+    elapsed = time.perf_counter() - started
+    path = committed_path(name)
+    exists = os.path.exists(path)
+    committed = None
+    if exists:
+        with open(path, "r", encoding="utf-8", newline="") as handle:
+            committed = handle.read()
+    return ExhibitDiff(
+        name=name,
+        matches=committed == regenerated,
+        committed_exists=exists,
+        regenerated=regenerated,
+        elapsed_s=elapsed,
+    )
+
+
+def _map_exhibits(task, names: List[str], workers, jobs) -> List:
+    # Late import: repro.scenarios imports repro.experiments pieces via
+    # the shims' harness re-export; keep golden importable standalone.
+    from ..scenarios.backends import map_tasks
+
+    return map_tasks(task, [(name, workers) for name in names], workers=jobs)
+
+
+def check(
+    names: Optional[Iterable[str]] = None,
+    workers: Optional[int] = None,
+    jobs: Optional[int] = None,
+) -> Dict[str, ExhibitDiff]:
+    """Regenerate exhibits and byte-diff each against the committed file.
+
+    ``jobs > 1`` regenerates exhibits concurrently on a process pool
+    (one exhibit per task); ``workers > 1`` instead parallelises
+    within each exhibit. Results are identical either way.
+    """
+    workers, jobs = _resolve_parallelism(workers, jobs)
+    resolved = resolve_names(names)
+    diffs = _map_exhibits(_check_task, resolved, workers, jobs)
+    return {diff.name: diff for diff in diffs}
+
+
+def _render_task(payload) -> Tuple[str, str, float]:
+    name, workers = payload
+    started = time.perf_counter()
+    content = render(name, workers=workers)
+    return name, content, time.perf_counter() - started
+
+
+def render_many(
+    names: Optional[Iterable[str]] = None,
+    workers: Optional[int] = None,
+    jobs: Optional[int] = None,
+) -> List[Tuple[str, str, float]]:
+    """Render exhibits -> [(name, bytes, render seconds)], in order.
+
+    The public fan-out primitive behind :func:`regenerate` and the
+    operator script: ``jobs > 1`` renders exhibits concurrently,
+    ``workers > 1`` parallelises within each exhibit (never both —
+    pool workers are daemonic). Elapsed times are worker-side.
+    """
+    workers, jobs = _resolve_parallelism(workers, jobs)
+    return _map_exhibits(_render_task, resolve_names(names), workers, jobs)
 
 
 def regenerate(
-    names: Optional[Iterable[str]] = None, results_dir: Optional[str] = None
+    names: Optional[Iterable[str]] = None,
+    results_dir: Optional[str] = None,
+    workers: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, str]:
-    """Regenerate exhibits onto disk; returns {name: path written}."""
+    """Regenerate exhibits onto disk; returns {name: path written}.
+
+    Rendering parallelises like :func:`check`; the writes themselves
+    always happen in this process, after every render finished.
+    """
     return {
-        name: write_trace(name, render(name), results_dir)
-        for name in resolve_names(names)
+        name: write_trace(name, content, results_dir)
+        for name, content, _ in render_many(names, workers=workers, jobs=jobs)
     }

@@ -22,9 +22,13 @@ the v1/v2/pipetune policies (:mod:`repro.scenarios.paper`).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..scenarios import run_scenario
 from .harness import ExperimentResult
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    return run_scenario("table2", scale=scale, seed=seed)
+def run(
+    scale: float = 1.0, seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
+    return run_scenario("table2", scale=scale, seed=seed, workers=workers)

@@ -61,6 +61,15 @@ from .runner import (
     metrics_by_system_collector,
     shared_tenancy_collector,
 )
+from .backends import (
+    ChainExecutor,
+    ProcessPoolBackend,
+    SerialBackend,
+    backend_for,
+    map_tasks,
+)
+from .merge import merge_outcomes
+from .planner import ExecutionChain, chain_policy, partition
 from .spec import (
     ALGORITHM_BUILDERS,
     OBJECTIVES,
@@ -81,15 +90,31 @@ from .spec import (
 )
 
 # importing these modules populates SCENARIO_REGISTRY (paper exhibits
-# first, then the novel scenarios).
+# first, then the novel scenarios); sweeps come last because the
+# built-in sweeps reference registered scenarios.
 from . import paper  # noqa: E402  (registration side effects)
 from . import novel  # noqa: E402  (registration side effects)
+from .sweep import (  # noqa: E402  (built-in sweeps need the registry)
+    SWEEP_REGISTRY,
+    Sweep,
+    SweepAxis,
+    SweepError,
+    SweepResult,
+    SweepVariant,
+    VariantOutcome,
+    get_sweep,
+    register_sweep,
+    run_sweep,
+    sweep_names,
+)
 
 __all__ = [
     "ALGORITHM_BUILDERS",
     "AnalysisStep",
     "AlgorithmSpec",
+    "ChainExecutor",
     "ClusterSpec",
+    "ExecutionChain",
     "ExperimentResult",
     "FailureSpec",
     "FixedTrialStep",
@@ -99,40 +124,58 @@ __all__ = [
     "OBJECTIVES",
     "PAPER_DISTRIBUTED_CLUSTER",
     "PAPER_SINGLE_NODE",
+    "ProcessPoolBackend",
     "SCENARIO_REGISTRY",
+    "SWEEP_REGISTRY",
     "Scenario",
     "ScenarioBuilder",
     "ScenarioDefinition",
     "ScenarioError",
     "ScenarioPlan",
     "ScenarioRunner",
+    "SerialBackend",
+    "Sweep",
+    "SweepAxis",
+    "SweepError",
+    "SweepResult",
+    "SweepVariant",
     "SystemPolicySpec",
     "TRIAL_INIT_S",
     "TenancySpec",
     "TraceStep",
     "V2_SAMPLE_SCALE",
     "V2_TRIAL_SETUP_S",
+    "VariantOutcome",
     "apply_space_overrides",
+    "backend_for",
     "build_job_spec",
+    "chain_policy",
     "execute_job",
     "fixed_trial",
     "fresh_cluster",
     "get_definition",
+    "get_sweep",
     "make_pipetune_session",
     "make_pipetune_spec",
     "make_v1_spec",
     "make_v2_spec",
+    "map_tasks",
     "mean",
+    "merge_outcomes",
     "metrics_by_system_collector",
     "novel",
     "paper",
+    "partition",
     "pipetune",
     "register",
+    "register_sweep",
     "run_scenario",
+    "run_sweep",
     "scenario_names",
     "seeds_for",
     "session_for_cluster",
     "shared_tenancy_collector",
+    "sweep_names",
     "tune_v1",
     "tune_v2",
 ]

@@ -1,0 +1,285 @@
+"""Pluggable execution backends for the ScenarioRunner.
+
+The scenario *declaration* never changes; *where and how* its steps
+execute is a backend decision (the RAFDA separation of application
+logic from distribution policy). Two backends ship:
+
+* :class:`SerialBackend` — today's behaviour, steps in plan order in
+  this process; the PipeTune sessions it built stay inspectable via
+  :attr:`~repro.scenarios.runner.ScenarioRunner.sessions`;
+* :class:`ProcessPoolBackend` — fans the plan's execution chains
+  (:func:`~repro.scenarios.planner.partition`) out over a
+  multiprocessing pool: session-sharing chains run in order on one
+  worker, independent chains concurrently, and outcomes merge back in
+  plan order (:func:`~repro.scenarios.merge.merge_outcomes`).
+
+Both produce bit-identical outcomes: every step runs on a fresh
+:class:`~repro.simulation.des.Environment`, sessions are rebuilt in
+the worker from the same (scenario, policy, seed) triple, and all
+random streams are counter-keyed on spec reprs and trial ids (PR 3),
+so neither process boundaries nor scheduling order can reach the
+bytes. ``tests/test_scenarios_parallel.py`` proves it against the
+committed golden traces for all 12 paper exhibits.
+
+Step execution itself lives in :class:`ChainExecutor` — the single
+implementation both backends (and the sweep subsystem's workers)
+drive; its inputs are plain picklable declarations.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..multitenancy.arrivals import generate_arrivals
+from ..multitenancy.scheduler import MultiTenancyResult, run_multi_tenancy
+from ..simulation.des import Environment
+from ..tune.runner import HptJobSpec, HptResult, run_hpt_job
+from ..tune.trainer import run_trial
+from ..workloads.registry import get_workload, type12_workloads, workloads_of_type
+from ..workloads.spec import WorkloadSpec
+from .jobs import session_for_cluster
+from .merge import merge_outcomes
+from .planner import ExecutionChain, partition
+from .runner import (
+    AnalysisStep,
+    FixedTrialStep,
+    JobStep,
+    ScenarioPlan,
+    Step,
+    TraceStep,
+    build_job_spec,
+)
+from .spec import Scenario, SystemPolicySpec
+
+
+def _resolve_warm_start(scenario: Scenario, policy: SystemPolicySpec):
+    kind = policy.effective_warm_start(scenario.cluster)
+    if kind == "none":
+        return None
+    if kind == "type12":
+        return type12_workloads()
+    if kind == "type3":
+        return workloads_of_type("III")
+    return [get_workload(name) for name in scenario.workloads]
+
+
+@dataclass
+class ChainExecutor:
+    """Executes plan steps against one scenario; owns the sessions.
+
+    Construction needs only picklable declarations — ``scenario``,
+    ``scale`` and the plan's base ``seed`` — so a pool worker can
+    rebuild an identical executor from the task payload. Within one
+    executor, dedicated-tenancy steps of a pipetune policy share one
+    lazily created session (exactly the serial runner's contract);
+    every multi-tenant trace gets a private one.
+    """
+
+    scenario: Scenario
+    scale: float
+    seed: int
+    #: one long-lived PipeTune session per policy, lazily created.
+    sessions: Dict[SystemPolicySpec, object] = field(default_factory=dict)
+
+    @classmethod
+    def for_plan(cls, plan: ScenarioPlan) -> "ChainExecutor":
+        return cls(scenario=plan.scenario, scale=plan.scale, seed=plan.seed)
+
+    # -- step dispatch ------------------------------------------------------
+    def run_step(self, step: Step):
+        if isinstance(step, JobStep):
+            return self._run_job(step)
+        if isinstance(step, FixedTrialStep):
+            return self._run_fixed_trial(step)
+        if isinstance(step, TraceStep):
+            return self._run_trace(step)
+        if isinstance(step, AnalysisStep):
+            return step.fn(self.scale, self.seed)
+        raise TypeError(f"unknown step type {type(step).__name__}")
+
+    def run_chain(self, chain: ExecutionChain) -> List:
+        return [self.run_step(step) for step in chain.steps]
+
+    # -- sessions -----------------------------------------------------------
+    def _session_for(self, policy: SystemPolicySpec, shared: bool = True):
+        if not shared:
+            return self._fresh_session(policy)
+        session = self.sessions.get(policy)
+        if session is None:
+            session = self.sessions[policy] = self._fresh_session(policy)
+        return session
+
+    def _fresh_session(self, policy: SystemPolicySpec):
+        cluster = self.scenario.cluster
+        session = session_for_cluster(
+            nodes=cluster.nodes,
+            cores_per_node=cluster.cores_per_node,
+            memory_gb_per_node=cluster.memory_gb_per_node,
+            seed=self.seed,
+        )
+        warm = _resolve_warm_start(self.scenario, policy)
+        if warm:
+            session.warm_start(warm)
+        return session
+
+    # -- step implementations -----------------------------------------------
+    def _run_job(self, step: JobStep) -> HptResult:
+        session = None
+        if step.policy.kind == "pipetune":
+            session = self._session_for(step.policy)
+        spec = build_job_spec(
+            self.scenario, step.policy, step.workload, step.seed, session=session
+        )
+        env = Environment()
+        cluster = self.scenario.cluster.build(env)
+        process = run_hpt_job(env, cluster, spec)
+        env.run()
+        return process.value
+
+    def _run_fixed_trial(self, step: FixedTrialStep):
+        env = Environment()
+        cluster = self.scenario.cluster.build(env)
+        trial_name = step.policy.name or step.policy.label
+        process = env.process(
+            run_trial(
+                env,
+                cluster,
+                trial_id=f"{trial_name}-{step.seed}",
+                workload=step.workload,
+                hyper=step.policy.hyper_params(),
+                system=step.policy.system_params(),
+            )
+        )
+        env.run()
+        return process.value
+
+    def _run_trace(self, step: TraceStep) -> MultiTenancyResult:
+        scenario = self.scenario
+        tenancy = scenario.tenancy
+        env = Environment()
+        cluster = scenario.cluster.build(env)
+        groups: Dict[str, List[WorkloadSpec]] = {}
+        for name in scenario.workloads:
+            workload = get_workload(name)
+            groups.setdefault(workload.workload_type, []).append(workload)
+        arrivals = generate_arrivals(
+            list(groups.values()),
+            num_jobs=step.num_jobs,
+            mean_interarrival_s=tenancy.mean_interarrival_s,
+            unseen_fraction=tenancy.unseen_fraction,
+            seed=step.seed,
+        )
+        policy = step.policy
+        # every trace is an isolated deployment: its own session.
+        session = (
+            self._session_for(policy, shared=False)
+            if policy.kind == "pipetune"
+            else None
+        )
+
+        def factory(workload: WorkloadSpec, arrival) -> HptJobSpec:
+            return build_job_spec(
+                scenario, policy, workload, step.seed + arrival.index, session=session
+            )
+
+        return run_multi_tenancy(
+            env,
+            cluster,
+            arrivals,
+            factory,
+            max_concurrent_jobs=tenancy.max_concurrent_jobs,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class SerialBackend:
+    """Steps in plan order, in-process — the historical behaviour."""
+
+    workers = 1
+
+    def run(self, plan: ScenarioPlan) -> Tuple[List, Dict[SystemPolicySpec, object]]:
+        executor = ChainExecutor.for_plan(plan)
+        outcomes = [executor.run_step(step) for step in plan.steps]
+        return outcomes, executor.sessions
+
+    def __repr__(self) -> str:
+        return "SerialBackend()"
+
+
+def _run_chain_task(payload) -> List:
+    """Pool task: rebuild the executor in the worker, run one chain."""
+    scenario, scale, seed, chain = payload
+    executor = ChainExecutor(scenario=scenario, scale=scale, seed=seed)
+    return executor.run_chain(chain)
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform has it (cheap, no re-import), else
+    the platform default (``spawn`` on macOS/Windows). Either way the
+    workers rebuild all state from the pickled declarations, so the
+    choice cannot affect results — only startup latency."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else multiprocessing.get_start_method()
+
+
+class ProcessPoolBackend:
+    """Chains fanned out over a multiprocessing worker pool.
+
+    Sessions live and die inside the workers, so
+    :attr:`ScenarioRunner.sessions` is empty after a pooled execute —
+    use :class:`SerialBackend` when the session object itself is the
+    thing under inspection.
+    """
+
+    def __init__(self, workers: int, start_method: Optional[str] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.start_method = start_method or default_start_method()
+
+    def run(self, plan: ScenarioPlan) -> Tuple[List, Dict[SystemPolicySpec, object]]:
+        chains = partition(plan)
+        payloads = [(plan.scenario, plan.scale, plan.seed, chain) for chain in chains]
+        processes = max(1, min(self.workers, len(chains)))
+        context = multiprocessing.get_context(self.start_method)
+        with context.Pool(processes=processes) as pool:
+            per_chain = pool.map(_run_chain_task, payloads)
+        return merge_outcomes(plan, chains, per_chain), {}
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessPoolBackend(workers={self.workers}, "
+            f"start_method={self.start_method!r})"
+        )
+
+
+Backend = object  # duck-typed: anything with .run(plan) -> (outcomes, sessions)
+
+
+def backend_for(workers: Optional[int] = None) -> object:
+    """The backend a worker count resolves to (None/0/1 -> serial)."""
+    if workers is None or workers <= 1:
+        return SerialBackend()
+    return ProcessPoolBackend(workers=workers)
+
+
+def map_tasks(fn, payloads: Sequence, workers: Optional[int] = None) -> List:
+    """Map a picklable task over payloads, pooled when ``workers > 1``.
+
+    The shared fan-out primitive for coarser-than-chain parallelism:
+    sweep variants and whole-exhibit regeneration go through it.
+    ``fn`` must be a module-level callable. Order is preserved.
+    """
+    payloads = list(payloads)
+    if workers is None or workers <= 1 or len(payloads) <= 1:
+        return [fn(payload) for payload in payloads]
+    context = multiprocessing.get_context(default_start_method())
+    processes = max(1, min(workers, len(payloads)))
+    with context.Pool(processes=processes) as pool:
+        return pool.map(fn, payloads)

@@ -1,0 +1,57 @@
+"""Merge per-chain outcomes back into plan order.
+
+Backends execute :class:`~repro.scenarios.planner.ExecutionChain`\\ s
+in whatever order and on whatever workers they like; this module puts
+every outcome back at its plan position so the collect phase (and the
+golden byte-diff behind it) cannot tell how execution was scheduled.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .planner import ExecutionChain
+from .runner import ScenarioPlan
+
+#: placeholder distinguishing "not merged yet" from a legitimate None.
+_MISSING = object()
+
+
+def merge_outcomes(
+    plan: ScenarioPlan,
+    chains: Sequence[ExecutionChain],
+    per_chain: Sequence[Tuple],
+) -> List:
+    """Outcomes in plan order from ``chains`` and their result lists.
+
+    ``per_chain[i]`` must hold one outcome per step of ``chains[i]``,
+    in chain order. Raises if the chains do not tile the plan exactly
+    (a backend bug must fail loudly, never silently misattribute an
+    outcome to the wrong step).
+    """
+    if len(chains) != len(per_chain):
+        raise ValueError(
+            f"got outcomes for {len(per_chain)} chains, expected {len(chains)}"
+        )
+    merged = [_MISSING] * len(plan.steps)
+    for chain, outcomes in zip(chains, per_chain):
+        if len(outcomes) != len(chain.indices):
+            raise ValueError(
+                f"{chain.label}: {len(outcomes)} outcomes for "
+                f"{len(chain.indices)} steps"
+            )
+        for position, outcome in zip(chain.indices, outcomes):
+            if not 0 <= position < len(merged):
+                raise ValueError(
+                    f"{chain.label}: step position {position} outside plan "
+                    f"of {len(merged)} steps"
+                )
+            if merged[position] is not _MISSING:
+                raise ValueError(
+                    f"{chain.label}: step position {position} merged twice"
+                )
+            merged[position] = outcome
+    holes = [i for i, outcome in enumerate(merged) if outcome is _MISSING]
+    if holes:
+        raise ValueError(f"chains left plan positions {holes} unexecuted")
+    return merged

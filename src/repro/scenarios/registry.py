@@ -90,6 +90,15 @@ def scenario_names(source: Optional[str] = None) -> List[str]:
     ]
 
 
-def run_scenario(name: str, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    """Resolve a scenario by name and run all four phases."""
-    return get_definition(name).runner().run(scale=scale, seed=seed)
+def run_scenario(
+    name: str,
+    scale: float = 1.0,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> ExperimentResult:
+    """Resolve a scenario by name and run all four phases.
+
+    ``workers > 1`` executes the plan's chains on a process pool
+    (bit-identical to serial execution; see
+    :mod:`repro.scenarios.backends`)."""
+    return get_definition(name).runner().run(scale=scale, seed=seed, workers=workers)

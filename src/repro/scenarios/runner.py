@@ -8,17 +8,26 @@ into work, in four explicit phases:
   a :class:`ScenarioPlan` of typed steps, in a deterministic order;
 * **validate** — the scenario's declarative validation plus plan-level
   checks, all failures reported at once;
-* **execute** — run the steps sequentially, each on a freshly built
-  cluster; PipeTune policies share one long-lived session per policy
-  across all dedicated-tenancy steps (the ground-truth database is the
-  whole point), while every shared-tenancy trace gets its own;
-* **collect** — fold the step outcomes into one
+* **execute** — run the steps through a pluggable *execution backend*
+  (:mod:`~repro.scenarios.backends`): the default
+  :class:`~repro.scenarios.backends.SerialBackend` runs them in plan
+  order in this process, while
+  :class:`~repro.scenarios.backends.ProcessPoolBackend` (``workers >
+  1``) fans the plan's dependency chains
+  (:mod:`~repro.scenarios.planner`) out over a worker pool. Either
+  way each step gets a freshly built cluster, and PipeTune policies
+  share one long-lived session per policy across all of their
+  dedicated-tenancy steps (the ground-truth database is the whole
+  point) while every shared-tenancy trace gets its own;
+* **collect** — fold the step outcomes — merged back into plan order
+  whatever the backend did — into one
   :class:`~repro.scenarios.result.ExperimentResult` table.
 
 Execution reproduces the historical exhibit modules byte-for-byte:
 the spec builders, spec names, session warm-starts and step order are
 exactly the ones ``repro.experiments.harness`` used, so the random
-streams (counter-keyed on spec reprs and trial ids) are unchanged.
+streams (counter-keyed on spec reprs and trial ids) are unchanged —
+under any backend and any worker count.
 """
 
 from __future__ import annotations
@@ -27,14 +36,10 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..hpo.space import Choice, SearchSpace, joint_space, paper_hyper_space
-from ..multitenancy.arrivals import generate_arrivals
-from ..multitenancy.scheduler import MultiTenancyResult, run_multi_tenancy
-from ..simulation.des import Environment
-from ..tune.runner import HptJobSpec, HptResult, run_hpt_job
-from ..tune.trainer import run_trial
-from ..workloads.registry import get_workload, type12_workloads, workloads_of_type
+from ..tune.runner import HptJobSpec
+from ..workloads.registry import get_workload
 from ..workloads.spec import WorkloadSpec
-from .jobs import mean, seeds_for, session_for_cluster
+from .jobs import mean, seeds_for
 from .result import ExperimentResult
 from .spec import (
     OBJECTIVES,
@@ -124,8 +129,31 @@ class ScenarioPlan:
     seeds: Tuple[int, ...]
     steps: Tuple[Step, ...]
 
+    def chains(self):
+        """The plan's execution chains (see :mod:`~repro.scenarios.
+        planner`): steps sharing a PipeTune session form one ordered
+        chain, everything else is independent. This is exactly what a
+        parallel backend schedules, so the decomposition is
+        inspectable before anything runs."""
+        from .planner import partition  # late import: planner imports us
+
+        return partition(self)
+
     def describe(self) -> List[str]:
-        return [step.describe() for step in self.steps]
+        """One line per step, annotated with its execution chain."""
+        from .planner import chain_of_step
+
+        chains = self.chains()
+        lookup = chain_of_step(chains)
+        width = max((len(step.describe()) for step in self.steps), default=0)
+        lines = []
+        for position, step in enumerate(self.steps):
+            chain = lookup[position]
+            marker = f"chain {chain.index}"
+            if chain.shares_session:
+                marker += " (shared session)"
+            lines.append(f"{step.describe():<{width}}  [{marker}]")
+        return lines
 
 
 #: builds the steps of one scenario run; analysis scenarios override it.
@@ -211,17 +239,6 @@ def build_job_spec(
         name=policy.name or f"{policy.kind}-{workload.name}",
         **common,
     )
-
-
-def _resolve_warm_start(scenario: Scenario, policy: SystemPolicySpec):
-    kind = policy.effective_warm_start(scenario.cluster)
-    if kind == "none":
-        return None
-    if kind == "type12":
-        return type12_workloads()
-    if kind == "type3":
-        return workloads_of_type("III")
-    return [get_workload(name) for name in scenario.workloads]
 
 
 # ---------------------------------------------------------------------------
@@ -367,7 +384,6 @@ class ScenarioRunner:
         #: one long-lived PipeTune session per policy, shared across
         #: every dedicated-tenancy step of one execute() call.
         self._sessions: Dict[SystemPolicySpec, object] = {}
-        self._base_seed = 0
 
     # -- phase 1: plan ------------------------------------------------------
     def plan(self, scale: float = 1.0, seed: int = 0) -> ScenarioPlan:
@@ -407,121 +423,49 @@ class ScenarioRunner:
             raise ScenarioError(self.scenario.name, issues)
 
     # -- phase 3: execute ---------------------------------------------------
-    def execute(self, plan: ScenarioPlan) -> List:
-        self._sessions = {}
-        self._base_seed = plan.seed
-        return [self._execute_step(step, plan) for step in plan.steps]
+    def execute(
+        self,
+        plan: ScenarioPlan,
+        workers: Optional[int] = None,
+        backend=None,
+    ) -> List:
+        """Run the plan through an execution backend.
+
+        ``workers`` picks the backend (``None``/``0``/``1`` — serial,
+        ``> 1`` — a process pool of that size); an explicit ``backend``
+        object (anything with ``run(plan) -> (outcomes, sessions)``)
+        overrides it. Outcomes always come back in plan order.
+        """
+        from .backends import backend_for  # late import: backends imports us
+
+        if backend is None:
+            backend = backend_for(workers)
+        self._sessions = {}  # a failed run must not expose stale sessions
+        outcomes, sessions = backend.run(plan)
+        self._sessions = sessions
+        return outcomes
 
     @property
     def sessions(self):
         """PipeTune sessions created by the last :meth:`execute`, keyed
-        by policy label (one shared session per pipetune policy)."""
+        by policy label (one shared session per pipetune policy).
+        Empty after a pooled execute — sessions then live and die in
+        the workers; use the serial backend to inspect them."""
         return {policy.label: session for policy, session in self._sessions.items()}
-
-    def _execute_step(self, step: Step, plan: ScenarioPlan):
-        if isinstance(step, JobStep):
-            return self._run_job(step)
-        if isinstance(step, FixedTrialStep):
-            return self._run_fixed_trial(step)
-        if isinstance(step, TraceStep):
-            return self._run_trace(step)
-        return step.fn(plan.scale, plan.seed)
-
-    def _session_for(self, policy: SystemPolicySpec, shared: bool = True):
-        if not shared:
-            return self._fresh_session(policy)
-        session = self._sessions.get(policy)
-        if session is None:
-            session = self._sessions[policy] = self._fresh_session(policy)
-        return session
-
-    def _fresh_session(self, policy: SystemPolicySpec):
-        cluster = self.scenario.cluster
-        session = session_for_cluster(
-            nodes=cluster.nodes,
-            cores_per_node=cluster.cores_per_node,
-            memory_gb_per_node=cluster.memory_gb_per_node,
-            seed=self._base_seed,
-        )
-        warm = _resolve_warm_start(self.scenario, policy)
-        if warm:
-            session.warm_start(warm)
-        return session
-
-    def _run_job(self, step: JobStep) -> HptResult:
-        session = None
-        if step.policy.kind == "pipetune":
-            session = self._session_for(step.policy)
-        spec = build_job_spec(
-            self.scenario, step.policy, step.workload, step.seed, session=session
-        )
-        env = Environment()
-        cluster = self.scenario.cluster.build(env)
-        process = run_hpt_job(env, cluster, spec)
-        env.run()
-        return process.value
-
-    def _run_fixed_trial(self, step: FixedTrialStep):
-        env = Environment()
-        cluster = self.scenario.cluster.build(env)
-        trial_name = step.policy.name or step.policy.label
-        process = env.process(
-            run_trial(
-                env,
-                cluster,
-                trial_id=f"{trial_name}-{step.seed}",
-                workload=step.workload,
-                hyper=step.policy.hyper_params(),
-                system=step.policy.system_params(),
-            )
-        )
-        env.run()
-        return process.value
-
-    def _run_trace(self, step: TraceStep) -> MultiTenancyResult:
-        scenario = self.scenario
-        tenancy = scenario.tenancy
-        env = Environment()
-        cluster = scenario.cluster.build(env)
-        groups: Dict[str, List[WorkloadSpec]] = {}
-        for name in scenario.workloads:
-            workload = get_workload(name)
-            groups.setdefault(workload.workload_type, []).append(workload)
-        arrivals = generate_arrivals(
-            list(groups.values()),
-            num_jobs=step.num_jobs,
-            mean_interarrival_s=tenancy.mean_interarrival_s,
-            unseen_fraction=tenancy.unseen_fraction,
-            seed=step.seed,
-        )
-        policy = step.policy
-        # every trace is an isolated deployment: its own session.
-        session = (
-            self._session_for(policy, shared=False)
-            if policy.kind == "pipetune"
-            else None
-        )
-
-        def factory(workload: WorkloadSpec, arrival) -> HptJobSpec:
-            return build_job_spec(
-                scenario, policy, workload, step.seed + arrival.index, session=session
-            )
-
-        return run_multi_tenancy(
-            env,
-            cluster,
-            arrivals,
-            factory,
-            max_concurrent_jobs=tenancy.max_concurrent_jobs,
-        )
 
     # -- phase 4: collect ---------------------------------------------------
     def collect(self, plan: ScenarioPlan, outcomes: List) -> ExperimentResult:
         return self._collect(plan, outcomes)
 
     # -- all phases ---------------------------------------------------------
-    def run(self, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    def run(
+        self,
+        scale: float = 1.0,
+        seed: int = 0,
+        workers: Optional[int] = None,
+        backend=None,
+    ) -> ExperimentResult:
         plan = self.plan(scale=scale, seed=seed)
         self.validate(plan)
-        outcomes = self.execute(plan)
+        outcomes = self.execute(plan, workers=workers, backend=backend)
         return self.collect(plan, outcomes)

@@ -1,0 +1,430 @@
+"""Declarative parameter sweeps: scenario x grid -> variant matrix.
+
+A :class:`Sweep` names a registered scenario and a list of
+:class:`SweepAxis` overrides (dotted paths into the scenario's
+``as_dict`` form, e.g. ``tenancy.mean_interarrival_s`` or
+``cluster.nodes``). Its cartesian product expands into validated
+scenario *variants* — the base definition with only the overridden
+fields changed, keeping the registered collector and plan function —
+and :func:`run_sweep` executes them, fanned out over a process pool
+when ``workers > 1``. Because variants are whole scenarios, sweep
+parallelism composes with (and sits above) the per-scenario execution
+backends: each pool worker runs its variant serially, the sweep level
+provides the fan-out.
+
+Like scenarios, sweeps live in a registry (:data:`SWEEP_REGISTRY`)
+with a handful of built-ins — arrival-rate x admission matrices over
+the multi-tenancy exhibit, cluster sizing over the convergence
+exhibit, an HPO-algorithm matrix over the novel ASHA scenario — and
+a ``repro sweep list|run`` CLI front end.
+
+    from repro.scenarios.sweep import Sweep, SweepAxis, run_sweep
+
+    sweep = Sweep(
+        name="my-sweep",
+        scenario="fig09",
+        axes=(SweepAxis("cluster.nodes", (2, 4, 8)),),
+    )
+    outcome = run_sweep(sweep, scale=0.3, seed=0, workers=4)
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .registry import SCENARIO_REGISTRY, get_definition
+from .result import ExperimentResult
+from .runner import ScenarioRunner
+from .spec import Scenario, ScenarioError
+
+
+class SweepError(ValueError):
+    """A sweep failed validation; ``problems`` lists every issue."""
+
+    def __init__(self, name: str, problems: Sequence[str]):
+        self.sweep = name
+        self.problems = list(problems)
+        super().__init__(f"invalid sweep {name!r}: {'; '.join(self.problems)}")
+
+
+def _fmt(value) -> str:
+    """Compact human label for one axis value."""
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, Mapping):
+        return str(value.get("name", value))
+    return str(value)
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept dimension: a dotted scenario path and its values.
+
+    ``path`` indexes into ``Scenario.as_dict()`` (``cluster.nodes``,
+    ``tenancy.max_concurrent_jobs``, ``algorithm`` …); every value
+    must be representable in that dict form. ``labels`` optionally
+    names the values for variant naming (useful when a value is a
+    whole sub-dict, e.g. an algorithm spec).
+    """
+
+    path: str
+    values: Tuple[object, ...]
+    labels: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "values", tuple(self.values))
+        labels = tuple(self.labels) or tuple(_fmt(v) for v in self.values)
+        object.__setattr__(self, "labels", labels)
+        if not self.path:
+            raise ValueError("axis path must be non-empty")
+        if not self.values:
+            raise ValueError(f"axis {self.path!r} has no values")
+        if len(self.labels) != len(self.values):
+            raise ValueError(f"axis {self.path!r}: one label per value required")
+
+    def as_dict(self) -> Dict:
+        return {
+            "path": self.path,
+            "values": list(self.values),
+            "labels": list(self.labels),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepAxis":
+        return cls(
+            path=data["path"],
+            values=tuple(data["values"]),
+            labels=tuple(data.get("labels", ())),
+        )
+
+
+def set_override(data: Dict, path: str, value) -> None:
+    """Set one dotted-path override on a scenario dict, in place.
+
+    Only *existing* fields may be overridden — a typo'd path must fail
+    loudly instead of silently adding an ignored key.
+    """
+    node = data
+    segments = path.split(".")
+    for segment in segments[:-1]:
+        if not isinstance(node, dict) or segment not in node:
+            raise KeyError(f"override path {path!r}: no field {segment!r}")
+        node = node[segment]
+    leaf = segments[-1]
+    if not isinstance(node, dict) or leaf not in node:
+        raise KeyError(f"override path {path!r}: no field {leaf!r}")
+    node[leaf] = value
+
+
+def apply_overrides(
+    scenario: Scenario,
+    overrides: Sequence[Tuple[str, object]],
+    name: Optional[str] = None,
+) -> Scenario:
+    """The scenario variant one override combination resolves to."""
+    data = scenario.as_dict()
+    for path, value in overrides:
+        set_override(data, path, value)
+    if name is not None:
+        data["name"] = name
+    return Scenario.from_dict(data)
+
+
+@dataclass(frozen=True)
+class SweepVariant:
+    """One cell of the sweep grid: a named, fully resolved scenario."""
+
+    name: str
+    overrides: Tuple[Tuple[str, object], ...]
+    scenario: Scenario
+
+    def describe(self) -> str:
+        return ", ".join(f"{path}={_fmt(value)}" for path, value in self.overrides)
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A declared parameter sweep over one registered scenario."""
+
+    name: str
+    scenario: str
+    axes: Tuple[SweepAxis, ...]
+    title: str = ""
+    description: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "axes", tuple(self.axes))
+
+    @property
+    def grid_size(self) -> int:
+        size = 1
+        for axis in self.axes:
+            size *= len(axis.values)
+        return size
+
+    # -- validation ---------------------------------------------------------
+    def problems(self) -> List[str]:
+        issues: List[str] = []
+        if not self.name:
+            issues.append("sweep name must be non-empty")
+        if self.scenario not in SCENARIO_REGISTRY:
+            issues.append(
+                f"unknown scenario {self.scenario!r}; known: "
+                f"{', '.join(SCENARIO_REGISTRY)}"
+            )
+            return issues
+        if not self.axes:
+            issues.append("sweep needs at least one axis")
+        paths = [axis.path for axis in self.axes]
+        if len(set(paths)) != len(paths):
+            issues.append(f"duplicate axis paths {sorted(paths)}")
+        base = get_definition(self.scenario).scenario
+        for variant_name, overrides in self._grid():
+            try:
+                variant = apply_overrides(base, overrides, name=variant_name)
+                if variant.kind != "analysis":
+                    variant.validate()
+            except KeyError as error:
+                issues.append(str(error.args[0]))
+                break  # a bad path breaks every variant identically
+            except (ScenarioError, TypeError, ValueError) as error:
+                issues.append(f"variant {variant_name!r}: {error}")
+        return issues
+
+    def validate(self) -> "Sweep":
+        issues = self.problems()
+        if issues:
+            raise SweepError(self.name, issues)
+        return self
+
+    # -- expansion ----------------------------------------------------------
+    def _grid(self):
+        """(variant name, ((path, value), ...)) per grid cell, in
+        deterministic row-major axis order."""
+        value_sets = [
+            [
+                (axis.path, value, label)
+                for value, label in zip(axis.values, axis.labels)
+            ]
+            for axis in self.axes
+        ]
+        for cell in itertools.product(*value_sets):
+            tag = ",".join(f"{path}={label}" for path, _, label in cell)
+            yield (
+                f"{self.scenario}[{tag}]",
+                tuple((path, value) for path, value, _ in cell),
+            )
+
+    def variants(self) -> List[SweepVariant]:
+        """Every grid cell as a validated scenario variant."""
+        base = get_definition(self.scenario).scenario
+        built = []
+        for variant_name, overrides in self._grid():
+            scenario = apply_overrides(base, overrides, name=variant_name)
+            if scenario.kind != "analysis":
+                scenario.validate()
+            built.append(
+                SweepVariant(name=variant_name, overrides=overrides, scenario=scenario)
+            )
+        return built
+
+    # -- serialisation ------------------------------------------------------
+    def as_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "scenario": self.scenario,
+            "axes": [axis.as_dict() for axis in self.axes],
+            "title": self.title,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Sweep":
+        data = dict(data)
+        data["axes"] = tuple(SweepAxis.from_dict(a) for a in data.get("axes", ()))
+        return cls(**data)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VariantOutcome:
+    """One executed variant: its table plus where it came from."""
+
+    name: str
+    overrides: Tuple[Tuple[str, object], ...]
+    result: ExperimentResult
+    elapsed_s: float
+
+    def as_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "overrides": {path: value for path, value in self.overrides},
+            "elapsed_s": round(self.elapsed_s, 3),
+            "result": self.result.as_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All variants of one sweep run, in grid order."""
+
+    sweep: Sweep
+    scale: float
+    seed: int
+    workers: int
+    outcomes: Tuple[VariantOutcome, ...] = field(default_factory=tuple)
+
+    def as_dict(self) -> Dict:
+        return {
+            "sweep": self.sweep.as_dict(),
+            "scale": self.scale,
+            "seed": self.seed,
+            "workers": self.workers,
+            "variants": [outcome.as_dict() for outcome in self.outcomes],
+        }
+
+
+def _run_variant_task(payload) -> Tuple[str, ExperimentResult, float]:
+    """Pool task: resolve the base definition in the worker, build the
+    variant scenario, run it serially (pool workers are daemonic and
+    cannot open nested pools), return the collected table."""
+    base_name, variant_name, overrides, scale, seed = payload
+    definition = get_definition(base_name)
+    scenario = apply_overrides(definition.scenario, overrides, name=variant_name)
+    runner = ScenarioRunner(
+        scenario, collect=definition.collect, plan_fn=definition.plan_fn
+    )
+    started = time.perf_counter()
+    result = runner.run(scale=scale, seed=seed)
+    return variant_name, result, time.perf_counter() - started
+
+
+def run_sweep(
+    sweep: Union[Sweep, str],
+    scale: float = 1.0,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> SweepResult:
+    """Expand a sweep and execute every variant, pooled when asked.
+
+    Variant results are identical for any worker count: each variant
+    is a self-contained scenario run whose streams are counter-keyed
+    on its own specs and seeds.
+    """
+    from .backends import map_tasks  # late import: backends imports runner
+
+    if isinstance(sweep, str):
+        sweep = get_sweep(sweep)
+    sweep.validate()
+    payloads = [
+        (sweep.scenario, variant_name, overrides, scale, seed)
+        for variant_name, overrides in sweep._grid()
+    ]
+    finished = map_tasks(_run_variant_task, payloads, workers=workers)
+    outcomes = tuple(
+        VariantOutcome(
+            name=variant_name,
+            overrides=payload[2],
+            result=result,
+            elapsed_s=elapsed,
+        )
+        for payload, (variant_name, result, elapsed) in zip(payloads, finished)
+    )
+    return SweepResult(
+        sweep=sweep, scale=scale, seed=seed, workers=workers or 1, outcomes=outcomes
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry + built-ins
+# ---------------------------------------------------------------------------
+
+#: name -> sweep, in registration order (built-ins first).
+SWEEP_REGISTRY: Dict[str, Sweep] = {}
+
+
+def register_sweep(sweep: Sweep, replace: bool = False) -> Sweep:
+    """Validate and add one sweep to the registry."""
+    if sweep.name in SWEEP_REGISTRY and not replace:
+        raise ValueError(f"sweep {sweep.name!r} already registered")
+    sweep.validate()
+    SWEEP_REGISTRY[sweep.name] = sweep
+    return sweep
+
+
+def get_sweep(name: str) -> Sweep:
+    try:
+        return SWEEP_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(SWEEP_REGISTRY)
+        raise KeyError(f"unknown sweep {name!r}; known: {known}") from None
+
+
+def sweep_names() -> List[str]:
+    return list(SWEEP_REGISTRY)
+
+
+register_sweep(
+    Sweep(
+        name="arrival-rate",
+        scenario="fig13",
+        title="Multi-tenancy under arrival pressure",
+        description=(
+            "The Figure-13 shared cluster swept over job arrival rate "
+            "and admission concurrency: how response time degrades as "
+            "tenants arrive faster than the cluster drains them."
+        ),
+        axes=(
+            SweepAxis("tenancy.mean_interarrival_s", (1800.0, 1200.0, 600.0)),
+            SweepAxis("tenancy.max_concurrent_jobs", (2, 4)),
+        ),
+    )
+)
+
+register_sweep(
+    Sweep(
+        name="cluster-size",
+        scenario="fig09",
+        title="Convergence vs cluster size",
+        description=(
+            "The Figure-9 convergence comparison on 2-, 4- and 8-node "
+            "clusters: does PipeTune's advantage survive scaling the "
+            "testbed up and down?"
+        ),
+        axes=(SweepAxis("cluster.nodes", (2, 4, 8)),),
+    )
+)
+
+register_sweep(
+    Sweep(
+        name="algorithm-matrix",
+        scenario="asha-distributed-cnn",
+        title="HPO-algorithm matrix on the distributed CNN",
+        description=(
+            "The novel ASHA scenario with its search algorithm swapped "
+            "across ASHA, HyperBand and random search — V1 vs PipeTune "
+            "under each scheduler."
+        ),
+        axes=(
+            SweepAxis(
+                "algorithm",
+                (
+                    {
+                        "name": "asha",
+                        "params": {"max_epochs": 9, "eta": 3, "num_samples": 20},
+                    },
+                    {"name": "hyperband", "params": {"max_epochs": 9, "eta": 3}},
+                    {"name": "random", "params": {"num_samples": 20, "epochs": 9}},
+                ),
+                labels=("asha", "hyperband", "random"),
+            ),
+        ),
+    )
+)

@@ -185,3 +185,77 @@ class TestScenarioCommands:
             == 0
         )
         assert (tmp_path / "tables" / "bursty-tenants-oom.txt").exists()
+
+
+class TestParallelCli:
+    def test_describe_reports_chains(self, capsys):
+        assert main(["scenario", "describe", "fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "chains     :" in out
+        assert "shared session" in out
+        assert "session chain" in out
+
+    def test_describe_json_chains_tile_the_plan(self, capsys):
+        assert main(["scenario", "describe", "fig11", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        chains = payload["plan"]["chains"]
+        positions = sorted(i for chain in chains for i in chain["steps"])
+        assert positions == list(range(len(payload["plan"]["steps"])))
+        assert any(chain["shares_session"] for chain in chains)
+        for chain in chains:
+            assert len(chain["labels"]) == len(chain["steps"])
+
+    def test_scenario_run_workers_json(self, capsys):
+        assert main(["scenario", "run", "fig01", "--json", "--workers", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workers"] == 2
+        assert payload["result"]["exhibit"] == "Figure 1"
+
+    def test_scenario_check_with_workers(self, capsys):
+        assert main(["scenario", "run", "fig08", "--check", "--workers", "4"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+
+class TestSweepCommands:
+    def test_list(self, capsys):
+        assert main(["sweep", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "arrival-rate" in out
+        assert "cluster-size" in out
+        assert "algorithm-matrix" in out
+
+    def test_list_json_schema(self, capsys):
+        assert main(["sweep", "list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert len(entries) >= 3
+        required = {"name", "scenario", "title", "description", "axes", "variants"}
+        for entry in entries:
+            assert required <= set(entry)
+            assert entry["variants"] >= 1
+            for axis in entry["axes"]:
+                assert {"path", "values", "labels"} <= set(axis)
+
+    def test_run_unknown(self, capsys):
+        assert main(["sweep", "run", "nope"]) == 2
+        assert "unknown sweep" in capsys.readouterr().err
+
+    def test_run_json(self, capsys):
+        argv = "sweep run cluster-size --scale 0.3 --workers 2 --json".split()
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sweep"]["name"] == "cluster-size"
+        assert payload["workers"] == 2
+        names = [v["name"] for v in payload["variants"]]
+        assert names == [
+            "fig09[cluster.nodes=2]",
+            "fig09[cluster.nodes=4]",
+            "fig09[cluster.nodes=8]",
+        ]
+        for variant in payload["variants"]:
+            assert variant["result"]["rows"]
+
+    def test_run_text_output(self, capsys):
+        assert main(["sweep", "run", "cluster-size", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "=== fig09[cluster.nodes=2]" in out
+        assert "3 variants" in out

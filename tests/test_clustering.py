@@ -182,3 +182,93 @@ class TestClusterRadius:
         model = KMeans(k=2, seed=0).fit(two_blobs())
         assert model.cluster_radius(5) == 0.0
         assert model.cluster_radius(-1) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Early-abandon equivalence (restart-level optimisation must be exact)
+# ---------------------------------------------------------------------------
+
+
+class _ReferenceKMeans(KMeans):
+    """The classic Lloyd loop (pre-early-abandon), kept verbatim as the
+    oracle: every restart runs to shift-convergence and recomputes the
+    final assignment, with no fixpoint shortcut and no abandonment."""
+
+    def _lloyd(self, x, centroids, rng, abandon_above=None):
+        for _ in range(self.max_iter):
+            d2 = pairwise_sq_distances(x, centroids)
+            labels = d2.argmin(axis=1)
+            new_centroids = centroids.copy()
+            for j in range(self.k):
+                members = x[labels == j]
+                if len(members):
+                    new_centroids[j] = members.mean(axis=0)
+                else:
+                    new_centroids[j] = x[int(d2.min(axis=1).argmax())]
+            shift = float(np.linalg.norm(new_centroids - centroids))
+            centroids = new_centroids
+            if shift < self.tol:
+                break
+        d2 = pairwise_sq_distances(x, centroids)
+        labels = d2.argmin(axis=1)
+        per_point = d2[np.arange(len(x)), labels]
+        return centroids, labels, float(per_point.sum()), per_point
+
+
+def _assert_fits_identical(x, k, n_init, seed, max_iter=100, tol=1e-6):
+    fast = KMeans(k=k, n_init=n_init, seed=seed, max_iter=max_iter, tol=tol).fit(x)
+    slow = _ReferenceKMeans(
+        k=k, n_init=n_init, seed=seed, max_iter=max_iter, tol=tol
+    ).fit(x)
+    assert np.array_equal(fast.centroids, slow.centroids)
+    assert np.array_equal(fast.labels, slow.labels)
+    assert fast.inertia == slow.inertia  # bit-exact, not approx
+    assert np.array_equal(fast.cluster_inertias, slow.cluster_inertias)
+    assert np.array_equal(fast.cluster_sizes, slow.cluster_sizes)
+
+
+class TestEarlyAbandonEquivalence:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n=st.integers(min_value=4, max_value=40),
+        d=st.integers(min_value=1, max_value=5),
+        k=st.integers(min_value=1, max_value=4),
+        n_init=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fit_bit_identical_to_reference(self, seed, n, d, k, n_init):
+        """Abandoned restarts provably cannot win, and the retained
+        best restart's results are bit-identical to the classic loop."""
+        if n < k:
+            n = k
+        rng = np.random.default_rng(seed)
+        # clustered + degenerate structure: duplicated rows force ties
+        # and (for k close to the distinct-point count) empty clusters.
+        base = rng.normal(scale=rng.uniform(0.1, 5.0), size=(n, d))
+        x = np.vstack([base, base[: max(1, n // 3)]])
+        _assert_fits_identical(x, k=k, n_init=n_init, seed=seed % 1000)
+
+    def test_fit_bit_identical_on_blobs(self):
+        x = two_blobs(n=40)
+        for n_init in (1, 2, 4, 8):
+            _assert_fits_identical(x, k=2, n_init=n_init, seed=0)
+
+    def test_fit_bit_identical_with_duplicate_points(self):
+        """All-identical samples: every centroid collapses, empty
+        clusters reseed — the fixpoint shortcut must stay out of the
+        way and defer to the classic path."""
+        x = np.zeros((6, 2))
+        _assert_fits_identical(x, k=3, n_init=4, seed=1)
+
+    def test_fit_bit_identical_under_tight_iteration_budget(self):
+        x = two_blobs(n=25, separation=1.0, seed=3)
+        _assert_fits_identical(x, k=3, n_init=5, seed=2, max_iter=2)
+
+    def test_abandoned_restart_never_wins(self):
+        """The winning inertia equals the minimum over every restart's
+        fully-converged inertia (oracle: reference with the same
+        stream), so abandonment can only ever drop losers."""
+        x = two_blobs(n=35, separation=2.0, seed=4)
+        fast = KMeans(k=2, n_init=8, seed=5).fit(x)
+        slow = _ReferenceKMeans(k=2, n_init=8, seed=5).fit(x)
+        assert fast.inertia == slow.inertia
