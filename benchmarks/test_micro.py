@@ -10,7 +10,14 @@ import pytest
 
 from repro.core.clustering import KMeans
 from repro.counters.pmu import Pmu
-from repro.scenarios import Scenario, ScenarioRunner, pipetune, tune_v1, tune_v2
+from repro.scenarios import (
+    Scenario,
+    ScenarioRunner,
+    get_definition,
+    pipetune,
+    tune_v1,
+    tune_v2,
+)
 from repro.counters.profiler import EpochProfiler
 from repro.simulation.cluster import NodeSpec, SimCluster
 from repro.simulation.des import Environment
@@ -289,3 +296,21 @@ def test_scenario_parallel_speedup(benchmark, workers):
         "pipetune-a",
         "pipetune-b",
     ] * 2
+
+
+# ---------------------------------------------------------------------------
+# Hostile world (fault injection)
+# ---------------------------------------------------------------------------
+
+
+def test_hostile_world(benchmark):
+    """One full hostile-world scenario run (churn + crashes + retry):
+    per-epoch fault draws on the trial hot path plus the recovery
+    bookkeeping in the job runner. Gates the overhead of the
+    fault-injection seam against the committed baseline."""
+    runner = ScenarioRunner(get_definition("churn-and-crashes"))
+    result = benchmark.pedantic(
+        lambda: runner.run(scale=1.0, seed=0), rounds=3, iterations=1
+    )
+    assert [row["system"] for row in result.rows] == ["tune-v1", "tune-v2"]
+    assert sum(row["fault_events"] for row in result.rows) > 0

@@ -281,8 +281,10 @@ def _cmd_scenario_describe(args) -> int:
             f"{tenancy.mean_interarrival_s:g}s, {tenancy.unseen_fraction:.0%} "
             f"unseen, {tenancy.max_concurrent_jobs} concurrent"
         )
-    if scenario.failures.oom_threshold is not None:
-        print(f"failures   : OOM at {scenario.failures.oom_threshold:g}x memory")
+    failure_lines = scenario.failures.describe()
+    for position, line in enumerate(failure_lines):
+        heading = "failures   :" if position == 0 else "            "
+        print(f"{heading} {line}")
     print(f"repetitions: {scenario.repetitions}")
     print(f"plan       : {len(plan.steps)} step(s) at scale {plan.scale}")
     for line in plan.describe():
@@ -365,8 +367,8 @@ def _scenario_check(name: str, workers: Optional[int] = None) -> int:
     and byte-diff the rendered table against the golden trace."""
     if name not in EXHIBIT_RUNS:
         print(
-            f"{name!r} has no committed golden trace (only the paper "
-            f"exhibits do: {', '.join(EXHIBIT_RUNS)})",
+            f"{name!r} has no committed golden trace "
+            f"(committed: {', '.join(EXHIBIT_RUNS)})",
             file=sys.stderr,
         )
         return 2
@@ -439,14 +441,22 @@ def _cmd_sweep_run(args) -> int:
         _print_json(payload)
         return 0
     for variant in outcome.outcomes:
-        print(f"=== {variant.name} ({variant.elapsed_s:.1f}s)")
-        print(variant.result.format_table())
+        if variant.ok:
+            print(f"=== {variant.name} ({variant.elapsed_s:.1f}s)")
+            print(variant.result.format_table())
+        else:
+            print(f"=== {variant.name} FAILED ({variant.elapsed_s:.1f}s)")
+            print(f"{variant.error_type}: {variant.error}")
         print()
+    failed = len(outcome.failed)
+    summary = f"{len(outcome.outcomes)} variants"
+    if failed:
+        summary += f" ({failed} FAILED)"
     print(
-        f"[{sweep.name}: {len(outcome.outcomes)} variants, {elapsed:.1f}s "
+        f"[{sweep.name}: {summary}, {elapsed:.1f}s "
         f"wall, workers={outcome.workers}]"
     )
-    return 0
+    return 1 if failed else 0
 
 
 # ---------------------------------------------------------------------------

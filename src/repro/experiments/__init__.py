@@ -62,8 +62,18 @@ class ExhibitRun:
     def run(self, workers: Optional[int] = None) -> ExperimentResult:
         """Regenerate at the canonical parameters. ``workers > 1``
         executes the underlying scenario on a process pool — the
-        rendered bytes are identical for any worker count."""
-        return self.module.run(scale=self.scale, seed=self.seed, workers=workers)
+        rendered bytes are identical for any worker count.
+
+        A name without a paper-exhibit module resolves through the
+        scenario registry instead — the hostile-world pack commits its
+        goldens through the same manifest as the paper figures."""
+        if self.name in EXHIBITS:
+            return self.module.run(scale=self.scale, seed=self.seed, workers=workers)
+        from ..scenarios import run_scenario  # late: scenarios import us
+
+        return run_scenario(
+            self.name, scale=self.scale, seed=self.seed, workers=workers
+        )
 
 
 #: canonical regeneration parameters for every committed exhibit.
@@ -82,6 +92,10 @@ EXHIBIT_RUNS = {
         ExhibitRun("fig12", scale=0.67),
         ExhibitRun("fig13", scale=0.67),
         ExhibitRun("fig14", scale=0.67),
+        # hostile-world pack (PR 6): registry scenarios, no module.
+        ExhibitRun("spot-market-lenet", scale=1.0),
+        ExhibitRun("churn-and-crashes", scale=1.0),
+        ExhibitRun("hostile-storm", scale=1.0),
     )
 }
 

@@ -68,6 +68,7 @@ from .backends import (
     backend_for,
     map_tasks,
 )
+from .containment import ChainFailure, StepExecutionError, is_failure
 from .merge import merge_outcomes
 from .planner import ExecutionChain, chain_policy, partition
 from .spec import (
@@ -90,8 +91,9 @@ from .spec import (
 )
 
 # importing these modules populates SCENARIO_REGISTRY (paper exhibits
-# first, then the novel scenarios); sweeps come last because the
-# built-in sweeps reference registered scenarios.
+# first, then the novel scenarios); sweeps come next because the
+# built-in sweeps reference registered scenarios, and the hostile-world
+# pack comes last because it registers both scenarios and a sweep.
 from . import paper  # noqa: E402  (registration side effects)
 from . import novel  # noqa: E402  (registration side effects)
 from .sweep import (  # noqa: E402  (built-in sweeps need the registry)
@@ -107,12 +109,14 @@ from .sweep import (  # noqa: E402  (built-in sweeps need the registry)
     run_sweep,
     sweep_names,
 )
+from . import hostile  # noqa: E402  (registration side effects)
 
 __all__ = [
     "ALGORITHM_BUILDERS",
     "AnalysisStep",
     "AlgorithmSpec",
     "ChainExecutor",
+    "ChainFailure",
     "ClusterSpec",
     "ExecutionChain",
     "ExperimentResult",
@@ -134,6 +138,7 @@ __all__ = [
     "ScenarioPlan",
     "ScenarioRunner",
     "SerialBackend",
+    "StepExecutionError",
     "Sweep",
     "SweepAxis",
     "SweepError",
@@ -155,6 +160,8 @@ __all__ = [
     "fresh_cluster",
     "get_definition",
     "get_sweep",
+    "hostile",
+    "is_failure",
     "make_pipetune_session",
     "make_pipetune_spec",
     "make_v1_spec",

@@ -24,11 +24,22 @@ committed golden traces for all 12 paper exhibits.
 Step execution itself lives in :class:`ChainExecutor` — the single
 implementation both backends (and the sweep subsystem's workers)
 drive; its inputs are plain picklable declarations.
+
+Both backends also survive their own failures (PR 6). A step that
+raises is wrapped in :class:`~repro.scenarios.containment.
+StepExecutionError` so the error names its scenario, plan position and
+chain; under the pool the failure is *contained* in the worker and
+comes back as :class:`~repro.scenarios.containment.ChainFailure`
+outcomes instead of poisoning the pool, and a worker that dies outright
+(segfault, OOM-kill) triggers bounded isolated retries before the
+affected chain is reported as failed — all other chains still complete.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+from concurrent import futures
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -39,9 +50,10 @@ from ..tune.runner import HptJobSpec, HptResult, run_hpt_job
 from ..tune.trainer import run_trial
 from ..workloads.registry import get_workload, type12_workloads, workloads_of_type
 from ..workloads.spec import WorkloadSpec
+from .containment import ChainFailure, StepExecutionError, format_traceback
 from .jobs import session_for_cluster
 from .merge import merge_outcomes
-from .planner import ExecutionChain, partition
+from .planner import ExecutionChain, chain_of_step, partition
 from .runner import (
     AnalysisStep,
     FixedTrialStep,
@@ -99,8 +111,54 @@ class ChainExecutor:
             return step.fn(self.scale, self.seed)
         raise TypeError(f"unknown step type {type(step).__name__}")
 
-    def run_chain(self, chain: ExecutionChain) -> List:
-        return [self.run_step(step) for step in chain.steps]
+    def run_chain(self, chain: ExecutionChain, contain: bool = False) -> List:
+        """Run one chain's steps in order.
+
+        With ``contain=False`` (default) the first raising step
+        escapes as a :class:`StepExecutionError` carrying its
+        execution context. With ``contain=True`` the failure is turned
+        into outcomes instead: the raising position becomes a
+        :class:`ChainFailure` with the error and traceback, every
+        later position of the same chain a skipped one (its session
+        state is suspect once an earlier step died), and the list
+        stays one-outcome-per-step so merge slots it into plan order.
+        """
+        outcomes: List = []
+        for offset, (position, step) in enumerate(zip(chain.indices, chain.steps)):
+            try:
+                outcomes.append(self.run_step(step))
+            except Exception as error:
+                if not contain:
+                    raise StepExecutionError(
+                        self.scenario.name,
+                        chain.index,
+                        position,
+                        step.describe(),
+                        error,
+                    ) from error
+                trace = format_traceback(error)
+                for later, (pos, remaining) in enumerate(
+                    zip(chain.indices[offset:], chain.steps[offset:])
+                ):
+                    outcomes.append(
+                        ChainFailure(
+                            scenario=self.scenario.name,
+                            chain_index=chain.index,
+                            step_index=pos,
+                            step_label=remaining.describe(),
+                            error_type=type(error).__name__,
+                            error=(
+                                str(error)
+                                if later == 0
+                                else f"skipped: step {position} failed earlier "
+                                f"in this chain"
+                            ),
+                            traceback=trace if later == 0 else "",
+                            skipped=later > 0,
+                        )
+                    )
+                break
+        return outcomes
 
     # -- sessions -----------------------------------------------------------
     def _session_for(self, policy: SystemPolicySpec, shared: bool = True):
@@ -199,13 +257,30 @@ class ChainExecutor:
 
 
 class SerialBackend:
-    """Steps in plan order, in-process — the historical behaviour."""
+    """Steps in plan order, in-process — the historical behaviour.
+
+    Errors are not contained here (an interactive run wants the
+    traceback), but they are contextualised: any raising step escapes
+    as a :class:`StepExecutionError` naming the scenario, plan
+    position, step and chain, with the original chained as its cause.
+    """
 
     workers = 1
 
     def run(self, plan: ScenarioPlan) -> Tuple[List, Dict[SystemPolicySpec, object]]:
         executor = ChainExecutor.for_plan(plan)
-        outcomes = [executor.run_step(step) for step in plan.steps]
+        lookup = chain_of_step(partition(plan))
+        outcomes = []
+        for position, step in enumerate(plan.steps):
+            try:
+                outcomes.append(executor.run_step(step))
+            except StepExecutionError:
+                raise
+            except Exception as error:
+                chain = lookup[position]
+                raise StepExecutionError(
+                    plan.scenario.name, chain.index, position, step.describe(), error
+                ) from error
         return outcomes, executor.sessions
 
     def __repr__(self) -> str:
@@ -213,10 +288,15 @@ class SerialBackend:
 
 
 def _run_chain_task(payload) -> List:
-    """Pool task: rebuild the executor in the worker, run one chain."""
+    """Pool task: rebuild the executor in the worker, run one chain.
+
+    Containment is on: a raising chain returns :class:`ChainFailure`
+    outcomes rather than propagating an exception across the process
+    boundary, so one bad chain cannot abort its siblings.
+    """
     scenario, scale, seed, chain = payload
     executor = ChainExecutor(scenario=scenario, scale=scale, seed=seed)
-    return executor.run_chain(chain)
+    return executor.run_chain(chain, contain=True)
 
 
 def default_start_method() -> str:
@@ -228,34 +308,196 @@ def default_start_method() -> str:
     return "fork" if "fork" in methods else multiprocessing.get_start_method()
 
 
+def _payload(plan: ScenarioPlan, chain: ExecutionChain):
+    return (plan.scenario, plan.scale, plan.seed, chain)
+
+
+def harness_failures(
+    plan: ScenarioPlan, chain: ExecutionChain, error_type: str, reason: str
+) -> List[ChainFailure]:
+    """One :class:`ChainFailure` per position of a chain the harness
+    gave up on (worker death, timeout) — no worker got to report."""
+    return [
+        ChainFailure(
+            scenario=plan.scenario.name,
+            chain_index=chain.index,
+            step_index=position,
+            step_label=step.describe(),
+            error_type=error_type,
+            error=reason,
+        )
+        for position, step in zip(chain.indices, chain.steps)
+    ]
+
+
 class ProcessPoolBackend:
-    """Chains fanned out over a multiprocessing worker pool.
+    """Chains fanned out over a process pool, with fault tolerance.
 
     Sessions live and die inside the workers, so
     :attr:`ScenarioRunner.sessions` is empty after a pooled execute —
     use :class:`SerialBackend` when the session object itself is the
     thing under inspection.
+
+    The harness survives its own failures:
+
+    * a chain that *raises* is contained inside the worker — its plan
+      positions come back as :class:`ChainFailure` outcomes and the
+      pool keeps serving other chains;
+    * a worker that *dies* (segfault, OOM-kill, ``os._exit``) breaks
+      the shared pool for every unfinished chain; each such chain is
+      retried in isolation — a fresh single-worker pool per chain — so
+      a deterministically crashing chain indicts only itself while
+      innocent bystanders complete on retry;
+    * ``chain_timeout_s`` bounds each execution round; hung workers
+      are terminated, their chains retried in isolation;
+    * after ``chain_retries`` isolation rounds, whatever still fails
+      is reported as :class:`ChainFailure` outcomes in plan order —
+      ``run`` returns results for every surviving step either way.
     """
 
-    def __init__(self, workers: int, start_method: Optional[str] = None):
+    def __init__(
+        self,
+        workers: int,
+        start_method: Optional[str] = None,
+        chain_timeout_s: Optional[float] = None,
+        chain_retries: int = 1,
+    ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if chain_timeout_s is not None and chain_timeout_s <= 0:
+            raise ValueError("chain_timeout_s must be positive")
+        if chain_retries < 0:
+            raise ValueError("chain_retries must be >= 0")
         self.workers = workers
         self.start_method = start_method or default_start_method()
+        self.chain_timeout_s = chain_timeout_s
+        self.chain_retries = chain_retries
 
     def run(self, plan: ScenarioPlan) -> Tuple[List, Dict[SystemPolicySpec, object]]:
         chains = partition(plan)
-        payloads = [(plan.scenario, plan.scale, plan.seed, chain) for chain in chains]
-        processes = max(1, min(self.workers, len(chains)))
-        context = multiprocessing.get_context(self.start_method)
-        with context.Pool(processes=processes) as pool:
-            per_chain = pool.map(_run_chain_task, payloads)
+        results: Dict[int, List] = {}
+        pending = self._shared_round(plan, chains, results)
+        for _ in range(self.chain_retries):
+            if not pending:
+                break
+            pending = self._isolated_round(
+                plan, [chain for chain, _, _ in pending], results
+            )
+        for chain, error_type, reason in pending:
+            results[chain.index] = harness_failures(plan, chain, error_type, reason)
+        per_chain = [results[chain.index] for chain in chains]
         return merge_outcomes(plan, chains, per_chain), {}
+
+    # -- execution rounds ---------------------------------------------------
+    def _shared_round(
+        self,
+        plan: ScenarioPlan,
+        chains: Sequence[ExecutionChain],
+        results: Dict[int, List],
+    ) -> List[Tuple[ExecutionChain, str, str]]:
+        """All chains on one shared pool; returns those needing retry."""
+        if not chains:
+            return []
+        pending: List[Tuple[ExecutionChain, str, str]] = []
+        context = multiprocessing.get_context(self.start_method)
+        processes = max(1, min(self.workers, len(chains)))
+        executor = futures.ProcessPoolExecutor(
+            max_workers=processes, mp_context=context
+        )
+        try:
+            future_of = {
+                chain.index: executor.submit(_run_chain_task, _payload(plan, chain))
+                for chain in chains
+            }
+            done, _ = futures.wait(future_of.values(), timeout=self.chain_timeout_s)
+            for chain in chains:
+                future = future_of[chain.index]
+                if future not in done:
+                    pending.append(
+                        (
+                            chain,
+                            "TimeoutError",
+                            f"chain did not finish within {self.chain_timeout_s:g}s",
+                        )
+                    )
+                    continue
+                try:
+                    results[chain.index] = future.result()
+                except BrokenProcessPool:
+                    # the dying worker takes the whole pool down; every
+                    # unfinished chain lands here and gets an isolated
+                    # retry — only the true crasher will fail again.
+                    pending.append(
+                        (
+                            chain,
+                            "BrokenProcessPool",
+                            "a worker process died while the pool ran this chain",
+                        )
+                    )
+                except Exception as error:
+                    pending.append((chain, type(error).__name__, str(error)))
+        finally:
+            self._teardown(executor)
+        return pending
+
+    def _isolated_round(
+        self,
+        plan: ScenarioPlan,
+        chains: Sequence[ExecutionChain],
+        results: Dict[int, List],
+    ) -> List[Tuple[ExecutionChain, str, str]]:
+        """Each chain alone on a fresh single-worker pool."""
+        pending: List[Tuple[ExecutionChain, str, str]] = []
+        context = multiprocessing.get_context(self.start_method)
+        for chain in chains:
+            executor = futures.ProcessPoolExecutor(max_workers=1, mp_context=context)
+            try:
+                future = executor.submit(_run_chain_task, _payload(plan, chain))
+                try:
+                    results[chain.index] = future.result(timeout=self.chain_timeout_s)
+                except futures.TimeoutError:
+                    pending.append(
+                        (
+                            chain,
+                            "TimeoutError",
+                            f"chain did not finish within {self.chain_timeout_s:g}s "
+                            f"on an isolated retry",
+                        )
+                    )
+                except BrokenProcessPool:
+                    pending.append(
+                        (
+                            chain,
+                            "BrokenProcessPool",
+                            "worker process died again on an isolated retry",
+                        )
+                    )
+                except Exception as error:
+                    pending.append((chain, type(error).__name__, str(error)))
+            finally:
+                self._teardown(executor)
+        return pending
+
+    @staticmethod
+    def _teardown(executor: futures.ProcessPoolExecutor) -> None:
+        # shutdown(wait=True) blocks forever on a hung or dead-locked
+        # worker and the stdlib exposes no kill switch, so terminate
+        # survivors by hand after a non-blocking shutdown (_processes
+        # is private but stable across 3.10-3.12).
+        workers = dict(getattr(executor, "_processes", None) or {})
+        executor.shutdown(wait=False, cancel_futures=True)
+        for worker in workers.values():
+            if worker.is_alive():
+                worker.terminate()
+        for worker in workers.values():
+            worker.join(timeout=5.0)
 
     def __repr__(self) -> str:
         return (
             f"ProcessPoolBackend(workers={self.workers}, "
-            f"start_method={self.start_method!r})"
+            f"start_method={self.start_method!r}, "
+            f"chain_timeout_s={self.chain_timeout_s}, "
+            f"chain_retries={self.chain_retries})"
         )
 
 

@@ -39,6 +39,7 @@ from ..hpo.space import Choice, SearchSpace, joint_space, paper_hyper_space
 from ..tune.runner import HptJobSpec
 from ..workloads.registry import get_workload
 from ..workloads.spec import WorkloadSpec
+from .containment import is_failure
 from .jobs import mean, seeds_for
 from .result import ExperimentResult
 from .spec import (
@@ -222,6 +223,13 @@ def build_job_spec(
     }
     if scenario.failures.oom_threshold is not None:
         common["oom_threshold"] = scenario.failures.oom_threshold
+    # faults ride along only when declared — a fault-free scenario
+    # builds byte-identical specs (and streams) to the historical ones.
+    fault_model = scenario.failures.fault_model()
+    if fault_model is not None:
+        common["faults"] = fault_model
+    if scenario.failures.retry is not None:
+        common["retry"] = scenario.failures.retry
     if policy.kind == "pipetune":
         if session is None:
             raise ValueError("pipetune policy needs a session")
@@ -248,10 +256,13 @@ def build_job_spec(
 
 def _grouped_jobs(plan: ScenarioPlan, outcomes: List):
     """Consecutive (workload, policy) groups of job/trial outcomes,
-    in plan order — one group per future table row family."""
+    in plan order — one group per future table row family. Contained
+    :class:`~repro.scenarios.containment.ChainFailure` outcomes are
+    excluded: the surviving runs still aggregate (a cell whose every
+    run failed simply produces no row)."""
     groups: List[Tuple[WorkloadSpec, SystemPolicySpec, List]] = []
     for step, outcome in zip(plan.steps, outcomes):
-        if not isinstance(step, (JobStep, FixedTrialStep)):
+        if not isinstance(step, (JobStep, FixedTrialStep)) or is_failure(outcome):
             continue
         if (
             groups
@@ -273,6 +284,14 @@ def metrics_by_system_collector(
 
     def collect(plan: ScenarioPlan, outcomes: List) -> ExperimentResult:
         scenario = plan.scenario
+        notes = (
+            notes_fn(plan)
+            if notes_fn
+            else f"mean over {len(plan.seeds)} seeds; dedicated cluster per job"
+        )
+        failed = sum(1 for outcome in outcomes if is_failure(outcome))
+        if failed:
+            notes += f"; {failed} failed step(s) excluded"
         result = ExperimentResult(
             exhibit=exhibit or scenario.exhibit or scenario.name,
             title=title or scenario.title or scenario.name,
@@ -284,9 +303,7 @@ def metrics_by_system_collector(
                 "tuning_time_s",
                 "tuning_energy_kj",
             ],
-            notes=notes_fn(plan)
-            if notes_fn
-            else f"mean over {len(plan.seeds)} seeds; dedicated cluster per job",
+            notes=notes,
         )
         for workload, policy, runs in _grouped_jobs(plan, outcomes):
             result.add_row(
@@ -313,6 +330,19 @@ def shared_tenancy_collector(
         scenario = plan.scenario
         tenancy = scenario.tenancy
         num_jobs = tenancy.scaled_jobs(plan.scale)
+        notes = (
+            notes_fn(plan)
+            if notes_fn
+            else (
+                f"{num_jobs} jobs, exp. interarrival "
+                f"{tenancy.mean_interarrival_s:.0f}s, "
+                f"{tenancy.max_concurrent_jobs} concurrent jobs, "
+                f"{100 * tenancy.unseen_fraction:.0f}% unseen"
+            )
+        )
+        failed = sum(1 for outcome in outcomes if is_failure(outcome))
+        if failed:
+            notes += f"; {failed} failed step(s) excluded"
         result = ExperimentResult(
             exhibit=exhibit or scenario.exhibit or scenario.name,
             title=title or scenario.title or scenario.name,
@@ -323,17 +353,10 @@ def shared_tenancy_collector(
                 "finished_trials",
                 "failed_trials",
             ],
-            notes=notes_fn(plan)
-            if notes_fn
-            else (
-                f"{num_jobs} jobs, exp. interarrival "
-                f"{tenancy.mean_interarrival_s:.0f}s, "
-                f"{tenancy.max_concurrent_jobs} concurrent jobs, "
-                f"{100 * tenancy.unseen_fraction:.0f}% unseen"
-            ),
+            notes=notes,
         )
         for step, trace in zip(plan.steps, outcomes):
-            if not isinstance(step, TraceStep):
+            if not isinstance(step, TraceStep) or is_failure(trace):
                 continue
             result.add_row(
                 system=step.policy.label,

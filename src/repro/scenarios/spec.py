@@ -18,7 +18,9 @@ Composition points:
   overrides (search-space pinning, contention, sample scale, labels);
 * :class:`TenancySpec` — dedicated cluster per job, or a shared
   cluster with a Poisson arrival process;
-* :class:`FailureSpec` — OOM injection;
+* :class:`FailureSpec` — failure injection: OOM, spot preemption with
+  checkpoint/restore, node churn, transient crashes (with a per-job
+  retry policy) and straggler slowdown, all default-off;
 * :class:`ScenarioBuilder` — fluent construction
   (``Scenario.builder("name").workloads(...).compare(...).build()``).
 
@@ -42,6 +44,15 @@ from ..hpo.pbt import PopulationBasedTraining
 from ..hpo.space import SearchSpace, joint_space, paper_hyper_space
 from ..simulation.cluster import NodeSpec, SimCluster
 from ..simulation.des import Environment
+from ..tune.faults import (
+    ChurnSpec,
+    CrashSpec,
+    FaultModel,
+    PreemptionSpec,
+    RetryPolicy,
+    StragglerSpec,
+    strict_from_dict,
+)
 from ..tune.objectives import accuracy_objective, accuracy_per_time_objective
 from ..workloads.registry import ALL_WORKLOADS, get_workload, workloads_of_type
 from ..workloads.spec import HyperParams, SystemParams
@@ -339,18 +350,129 @@ class TenancySpec:
         return cls(**dict(data))
 
 
+#: the nested fault specs a FailureSpec composes, by field name.
+_FAULT_SPEC_TYPES = {
+    "preemption": PreemptionSpec,
+    "churn": ChurnSpec,
+    "crash": CrashSpec,
+    "straggler": StragglerSpec,
+    "retry": RetryPolicy,
+}
+
+
 @dataclass(frozen=True)
 class FailureSpec:
-    """Failure injection knobs (OOM for now; the axis is open)."""
+    """Composable failure-injection model; every axis defaults off.
+
+    ``oom_threshold`` kills memory-starved trials (the original knob);
+    the hostile-world axes declare spot preemption with
+    checkpoint/restore, node churn, transient crashes recovered by the
+    per-job :class:`~repro.tune.faults.RetryPolicy`, and straggler
+    slowdown. Declaration only — injection and recovery live in the
+    tune layer (:mod:`repro.tune.faults`), and every fault is drawn
+    from counter-keyed streams so injected chaos is bit-deterministic
+    under any execution backend.
+    """
 
     oom_threshold: Optional[float] = None
+    preemption: Optional[PreemptionSpec] = None
+    churn: Optional[ChurnSpec] = None
+    crash: Optional[CrashSpec] = None
+    straggler: Optional[StragglerSpec] = None
+    retry: Optional[RetryPolicy] = None
+
+    @property
+    def any_active(self) -> bool:
+        return (
+            self.oom_threshold is not None or self.fault_model() is not None
+        )
+
+    def fault_model(self) -> Optional[FaultModel]:
+        """The tune-layer fault model, or None when every axis is off."""
+        model = FaultModel(
+            preemption=self.preemption,
+            churn=self.churn,
+            crash=self.crash,
+            straggler=self.straggler,
+        )
+        return model if model.active else None
+
+    def problems(self) -> List[str]:
+        issues: List[str] = []
+        if self.oom_threshold is not None and self.oom_threshold <= 0:
+            issues.append("oom_threshold must be positive")
+        for name in ("preemption", "churn", "crash", "straggler", "retry"):
+            spec = getattr(self, name)
+            if spec is not None:
+                issues.extend(spec.problems(where=f"failures.{name}"))
+        return issues
+
+    def describe(self) -> List[str]:
+        """Human-readable line(s) of the full failure model."""
+        lines: List[str] = []
+        if self.oom_threshold is not None:
+            lines.append(f"OOM at {self.oom_threshold:g}x memory")
+        if self.preemption is not None:
+            p = self.preemption
+            lines.append(
+                f"preemption p={p.rate_per_epoch:g}/epoch, checkpoint "
+                f"every {p.checkpoint_every_epochs} epoch(s), restore "
+                f"{p.effective_restore_cost_s:g}s, max {p.max_events} "
+                "event(s)"
+            )
+        if self.churn is not None:
+            c = self.churn
+            lines.append(
+                f"node churn p={c.rate_per_epoch:g}/epoch, reschedule "
+                f"after {c.reschedule_delay_s:g}s, max {c.max_events} "
+                "event(s)"
+            )
+        if self.crash is not None:
+            lines.append(f"crashes p={self.crash.rate_per_epoch:g}/epoch")
+        if self.straggler is not None:
+            s = self.straggler
+            lines.append(
+                f"stragglers {s.fraction:.0%} of placements at "
+                f"{s.slowdown:g}x slowdown"
+            )
+        if self.retry is not None:
+            r = self.retry
+            lines.append(
+                f"retry policy: {r.max_retries} retries, backoff "
+                f"{r.backoff_base_s:g}s x {r.backoff_factor:g}"
+            )
+        return lines
 
     def as_dict(self) -> Dict:
-        return {"oom_threshold": self.oom_threshold}
+        return {
+            "oom_threshold": self.oom_threshold,
+            "preemption": None
+            if self.preemption is None
+            else self.preemption.as_dict(),
+            "churn": None if self.churn is None else self.churn.as_dict(),
+            "crash": None if self.crash is None else self.crash.as_dict(),
+            "straggler": None
+            if self.straggler is None
+            else self.straggler.as_dict(),
+            "retry": None if self.retry is None else self.retry.as_dict(),
+        }
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "FailureSpec":
-        return cls(**dict(data))
+        data = dict(data)
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown failure field(s) {unknown}; known: {sorted(known)}"
+            )
+        for name, spec_cls in _FAULT_SPEC_TYPES.items():
+            value = data.get(name)
+            if isinstance(value, Mapping):
+                data[name] = strict_from_dict(
+                    spec_cls, value, f"failures.{name}"
+                )
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -451,8 +573,7 @@ class Scenario:
                 issues.append("max_concurrent_jobs must be >= 1")
             if any(p.kind == "fixed" for p in self.systems):
                 issues.append("fixed policies cannot run under shared tenancy")
-        if self.failures.oom_threshold is not None and self.failures.oom_threshold <= 0:
-            issues.append("oom_threshold must be positive")
+        issues.extend(self.failures.problems())
         return issues
 
     def _policy_problems(
@@ -675,9 +796,69 @@ class ScenarioBuilder:
         self._fields["tenancy"] = TenancySpec(mode="shared", **kwargs)
         return self
 
-    def inject_oom(self, threshold: float) -> "ScenarioBuilder":
-        self._fields["failures"] = FailureSpec(oom_threshold=threshold)
+    def _merge_failures(self, **changes) -> "ScenarioBuilder":
+        current = self._fields.get("failures", FailureSpec())
+        self._fields["failures"] = replace(current, **changes)
         return self
+
+    def inject_oom(self, threshold: float) -> "ScenarioBuilder":
+        return self._merge_failures(oom_threshold=threshold)
+
+    def inject_preemption(
+        self,
+        rate_per_epoch: float,
+        checkpoint_every_epochs: int = 3,
+        restore_cost_s: Optional[float] = None,
+        max_events: int = 4,
+    ) -> "ScenarioBuilder":
+        return self._merge_failures(
+            preemption=PreemptionSpec(
+                rate_per_epoch=rate_per_epoch,
+                checkpoint_every_epochs=checkpoint_every_epochs,
+                restore_cost_s=restore_cost_s,
+                max_events=max_events,
+            )
+        )
+
+    def inject_churn(
+        self,
+        rate_per_epoch: float,
+        reschedule_delay_s: float = 120.0,
+        max_events: int = 2,
+    ) -> "ScenarioBuilder":
+        return self._merge_failures(
+            churn=ChurnSpec(
+                rate_per_epoch=rate_per_epoch,
+                reschedule_delay_s=reschedule_delay_s,
+                max_events=max_events,
+            )
+        )
+
+    def inject_crashes(self, rate_per_epoch: float) -> "ScenarioBuilder":
+        return self._merge_failures(
+            crash=CrashSpec(rate_per_epoch=rate_per_epoch)
+        )
+
+    def inject_stragglers(
+        self, fraction: float, slowdown: float = 2.0
+    ) -> "ScenarioBuilder":
+        return self._merge_failures(
+            straggler=StragglerSpec(fraction=fraction, slowdown=slowdown)
+        )
+
+    def retry_policy(
+        self,
+        max_retries: int,
+        backoff_base_s: float = 30.0,
+        backoff_factor: float = 2.0,
+    ) -> "ScenarioBuilder":
+        return self._merge_failures(
+            retry=RetryPolicy(
+                max_retries=max_retries,
+                backoff_base_s=backoff_base_s,
+                backoff_factor=backoff_factor,
+            )
+        )
 
     def repetitions(self, count: int) -> "ScenarioBuilder":
         self._fields["repetitions"] = count

@@ -255,19 +255,33 @@ class Sweep:
 
 @dataclass(frozen=True)
 class VariantOutcome:
-    """One executed variant: its table plus where it came from."""
+    """One executed variant: its table — or its contained failure.
+
+    A variant that raises does not abort the sweep; it comes back with
+    ``result=None`` and the error recorded, while every other variant
+    still carries its table (``ok`` distinguishes them).
+    """
 
     name: str
     overrides: Tuple[Tuple[str, object], ...]
-    result: ExperimentResult
+    result: Optional[ExperimentResult]
     elapsed_s: float
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
 
     def as_dict(self) -> Dict:
         return {
             "name": self.name,
             "overrides": {path: value for path, value in self.overrides},
             "elapsed_s": round(self.elapsed_s, 3),
-            "result": self.result.as_dict(),
+            "ok": self.ok,
+            "error_type": self.error_type,
+            "error": self.error,
+            "result": self.result.as_dict() if self.result is not None else None,
         }
 
 
@@ -281,6 +295,14 @@ class SweepResult:
     workers: int
     outcomes: Tuple[VariantOutcome, ...] = field(default_factory=tuple)
 
+    @property
+    def surviving(self) -> Tuple[VariantOutcome, ...]:
+        return tuple(outcome for outcome in self.outcomes if outcome.ok)
+
+    @property
+    def failed(self) -> Tuple[VariantOutcome, ...]:
+        return tuple(outcome for outcome in self.outcomes if not outcome.ok)
+
     def as_dict(self) -> Dict:
         return {
             "sweep": self.sweep.as_dict(),
@@ -291,19 +313,27 @@ class SweepResult:
         }
 
 
-def _run_variant_task(payload) -> Tuple[str, ExperimentResult, float]:
+def _run_variant_task(payload):
     """Pool task: resolve the base definition in the worker, build the
     variant scenario, run it serially (pool workers are daemonic and
-    cannot open nested pools), return the collected table."""
+    cannot open nested pools), return the collected table.
+
+    Contained: a raising variant returns an error record instead of
+    propagating across the process boundary, so one bad grid cell
+    cannot take the other variants' results with it."""
     base_name, variant_name, overrides, scale, seed = payload
-    definition = get_definition(base_name)
-    scenario = apply_overrides(definition.scenario, overrides, name=variant_name)
-    runner = ScenarioRunner(
-        scenario, collect=definition.collect, plan_fn=definition.plan_fn
-    )
     started = time.perf_counter()
-    result = runner.run(scale=scale, seed=seed)
-    return variant_name, result, time.perf_counter() - started
+    try:
+        definition = get_definition(base_name)
+        scenario = apply_overrides(definition.scenario, overrides, name=variant_name)
+        runner = ScenarioRunner(
+            scenario, collect=definition.collect, plan_fn=definition.plan_fn
+        )
+        result = runner.run(scale=scale, seed=seed)
+    except Exception as error:
+        elapsed = time.perf_counter() - started
+        return variant_name, None, elapsed, type(error).__name__, str(error)
+    return variant_name, result, time.perf_counter() - started, None, None
 
 
 def run_sweep(
@@ -316,7 +346,9 @@ def run_sweep(
 
     Variant results are identical for any worker count: each variant
     is a self-contained scenario run whose streams are counter-keyed
-    on its own specs and seeds.
+    on its own specs and seeds. The sweep degrades gracefully: a
+    variant that raises is reported failed (``SweepResult.failed``)
+    while every surviving variant still returns its table.
     """
     from .backends import map_tasks  # late import: backends imports runner
 
@@ -334,8 +366,12 @@ def run_sweep(
             overrides=payload[2],
             result=result,
             elapsed_s=elapsed,
+            error_type=error_type,
+            error=error,
         )
-        for payload, (variant_name, result, elapsed) in zip(payloads, finished)
+        for payload, (variant_name, result, elapsed, error_type, error) in zip(
+            payloads, finished
+        )
     )
     return SweepResult(
         sweep=sweep, scale=scale, seed=seed, workers=workers or 1, outcomes=outcomes

@@ -8,7 +8,22 @@ from .objectives import (
     energy_system_objective,
     runtime_system_objective,
 )
-from .errors import TrialError, TrialOutOfMemory
+from .errors import (
+    NodeDeparted,
+    TrialCrashed,
+    TrialError,
+    TrialOutOfMemory,
+    TrialPreempted,
+)
+from .faults import (
+    ChurnSpec,
+    CrashSpec,
+    FaultEvent,
+    FaultModel,
+    PreemptionSpec,
+    RetryPolicy,
+    StragglerSpec,
+)
 from .runner import (
     DEFAULT_SYSTEM,
     HptJobRunner,
@@ -22,19 +37,29 @@ from .trainer import TrialContext, TrialHooks, run_trial, trial_energy_j
 from .trial import EpochRecord, TrialResult
 
 __all__ = [
+    "ChurnSpec",
+    "CrashSpec",
     "DEFAULT_SYSTEM",
     "EpochRecord",
+    "FaultEvent",
+    "FaultModel",
     "HptJobRunner",
     "HptJobSpec",
     "HptResult",
+    "NodeDeparted",
     "OBJECTIVES",
     "Objective",
+    "PreemptionSpec",
+    "RetryPolicy",
+    "StragglerSpec",
     "TimelinePoint",
     "TrialContext",
+    "TrialCrashed",
     "TrialError",
     "TrialFailure",
     "TrialHooks",
     "TrialOutOfMemory",
+    "TrialPreempted",
     "TrialResult",
     "accuracy_objective",
     "accuracy_per_time_objective",

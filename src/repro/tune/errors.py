@@ -5,6 +5,12 @@ working set vastly exceeds its memory allocation does not merely run
 slowly — the JVM heap blows up and the trial dies. The runner treats
 these as reportable failures (the search algorithm sees a score of
 -inf) instead of crashing the whole HPT job.
+
+Every class here defines ``__reduce__``: contained failures travel
+inside :class:`~repro.tune.runner.HptResult` across process
+boundaries under the pooled backends, and Python's default exception
+pickling (``cls(*args)``) cannot rebuild multi-argument ``__init__``
+signatures.
 """
 
 from __future__ import annotations
@@ -16,6 +22,10 @@ class TrialError(RuntimeError):
     def __init__(self, trial_id: str, message: str):
         super().__init__(f"trial {trial_id}: {message}")
         self.trial_id = trial_id
+        self._message = message
+
+    def __reduce__(self):
+        return (type(self), (self.trial_id, self._message))
 
 
 class TrialOutOfMemory(TrialError):
@@ -29,3 +39,61 @@ class TrialOutOfMemory(TrialError):
         )
         self.working_set_gb = working_set_gb
         self.memory_gb = memory_gb
+
+    def __reduce__(self):
+        return (type(self), (self.trial_id, self.working_set_gb, self.memory_gb))
+
+
+class TrialPreempted(TrialError):
+    """The trial's spot instance was reclaimed mid-epoch.
+
+    Recoverable: the runner restores the last checkpoint
+    (``checkpoint_epoch``) and resumes the trial from there after
+    paying the restore cost, up to the fault spec's event budget.
+    """
+
+    def __init__(self, trial_id: str, epoch: int, checkpoint_epoch: int):
+        super().__init__(
+            trial_id,
+            f"preempted at epoch {epoch} "
+            f"(last checkpoint: epoch {checkpoint_epoch})",
+        )
+        self.epoch = epoch
+        self.checkpoint_epoch = checkpoint_epoch
+
+    def __reduce__(self):
+        return (type(self), (self.trial_id, self.epoch, self.checkpoint_epoch))
+
+
+class NodeDeparted(TrialError):
+    """The trial's node left the cluster (churn) mid-epoch.
+
+    Recoverable but stateless: unlike preemption there is no
+    checkpoint — the runner reschedules the trial from the start of
+    its current segment after a placement delay.
+    """
+
+    def __init__(self, trial_id: str, epoch: int, node: str):
+        super().__init__(
+            trial_id, f"node {node} departed during epoch {epoch}"
+        )
+        self.epoch = epoch
+        self.node = node
+
+    def __reduce__(self):
+        return (type(self), (self.trial_id, self.epoch, self.node))
+
+
+class TrialCrashed(TrialError):
+    """The trial died of a transient cause (executor hiccup, OS race).
+
+    Recoverable via the job's retry policy: re-run the segment after
+    an exponential backoff, up to ``max_retries`` times.
+    """
+
+    def __init__(self, trial_id: str, epoch: int):
+        super().__init__(trial_id, f"crashed during epoch {epoch}")
+        self.epoch = epoch
+
+    def __reduce__(self):
+        return (type(self), (self.trial_id, self.epoch))

@@ -25,7 +25,8 @@ from ..hpo.space import split_config
 from ..simulation.cluster import SimCluster
 from ..simulation.des import Environment, Resource
 from ..workloads.spec import HyperParams, SystemParams, WorkloadSpec
-from .errors import TrialError
+from .errors import NodeDeparted, TrialCrashed, TrialError, TrialPreempted
+from .faults import FaultEvent, FaultModel, RetryPolicy
 from .objectives import Objective, accuracy_objective
 from .trainer import TrialHooks, run_trial
 from .trial import TrialResult
@@ -88,6 +89,12 @@ class HptJobSpec:
     #: failure injection: working-set-to-memory ratio beyond which a
     #: trial dies with OOM. None (default) disables trial failures.
     oom_threshold: Optional[float] = None
+    #: hostile-world fault model (preemption/churn/crashes/stragglers);
+    #: None (default) injects nothing and touches no random stream.
+    faults: Optional[FaultModel] = None
+    #: recovery policy for transient trial crashes; None means a single
+    #: crash fails the trial (no retries).
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self):
         if self.system_policy not in ("v1", "v2", "hooks"):
@@ -115,6 +122,9 @@ class HptResult:
     trials: List[TrialResult] = field(default_factory=list)
     timeline: List[TimelinePoint] = field(default_factory=list)
     failures: List[TrialFailure] = field(default_factory=list)
+    #: every injected fault and the recovery action taken, in
+    #: simulated-time order (empty when no fault model is active).
+    fault_events: List[FaultEvent] = field(default_factory=list)
 
     @property
     def num_trials(self) -> int:
@@ -175,25 +185,91 @@ class HptJobRunner:
             hooks = self.spec.hooks_wrapper(hooks)
         return hooks
 
-    def _gated_trial(self, slots: Resource, **kwargs) -> Generator:
+    def _gated_trial(
+        self, slots: Resource, events: List[FaultEvent], **kwargs
+    ) -> Generator:
         """Run one trial once a concurrency slot frees up.
 
         Trial-level failures (OOM etc.) are contained here and turned
         into :class:`TrialFailure` values so one dead trial never
-        aborts the whole HPT job.
+        aborts the whole HPT job. Recoverable faults from the job's
+        fault model are recovered in place — checkpoint restore after
+        preemption, segment reschedule after node churn, retry with
+        exponential backoff after transient crashes — each within its
+        spec's event budget; exhausting a budget fails the trial.
         """
         yield slots.request()
-        try:
-            result = yield from run_trial(**kwargs)
-        except TrialError as error:
-            return TrialFailure(
-                trial_id=kwargs["trial_id"],
-                error=error,
-                failed_at=self.env.now,
+        spec = self.spec
+        faults = spec.faults
+        trial_id = kwargs["trial_id"]
+        base_start = kwargs.get("start_epoch", 0) or 0
+        attempt = 0
+        counts = {"preemption": 0, "churn": 0, "crash": 0}
+
+        def record(kind: str, error, action: str) -> None:
+            events.append(
+                FaultEvent(
+                    trial_id=trial_id,
+                    kind=kind,
+                    epoch=error.epoch,
+                    at=self.env.now,
+                    attempt=attempt,
+                    action=action,
+                )
             )
+
+        def failure(error) -> TrialFailure:
+            return TrialFailure(
+                trial_id=trial_id, error=error, failed_at=self.env.now
+            )
+
+        try:
+            while True:
+                try:
+                    result = yield from run_trial(
+                        faults=faults, attempt=attempt, **kwargs
+                    )
+                except TrialPreempted as error:
+                    preemption = faults.preemption if faults else None
+                    counts["preemption"] += 1
+                    if preemption is None or (
+                        counts["preemption"] > preemption.max_events
+                    ):
+                        record("preemption", error, "gave-up")
+                        return failure(error)
+                    record("preemption", error, "resumed")
+                    yield self.env.timeout(preemption.effective_restore_cost_s)
+                    kwargs["start_epoch"] = max(
+                        base_start, error.checkpoint_epoch
+                    )
+                except NodeDeparted as error:
+                    churn = faults.churn if faults else None
+                    counts["churn"] += 1
+                    if churn is None or counts["churn"] > churn.max_events:
+                        record("churn", error, "gave-up")
+                        return failure(error)
+                    record("churn", error, "restarted")
+                    yield self.env.timeout(churn.reschedule_delay_s)
+                    # churn loses the local state: back to segment start.
+                    kwargs["start_epoch"] = base_start
+                except TrialCrashed as error:
+                    retry = spec.retry
+                    counts["crash"] += 1
+                    if retry is None or counts["crash"] > retry.max_retries:
+                        record("crash", error, "gave-up")
+                        return failure(error)
+                    record("crash", error, "retried")
+                    yield self.env.timeout(
+                        retry.backoff_s(counts["crash"] - 1)
+                    )
+                    kwargs["start_epoch"] = base_start
+                except TrialError as error:
+                    return failure(error)
+                else:
+                    return result
+                attempt += 1
         finally:
             slots.release()
-        return result
 
     def run(self) -> Generator:
         """DES process generator; its value is the :class:`HptResult`."""
@@ -205,6 +281,7 @@ class HptJobRunner:
         best_result: Optional[TrialResult] = None
         timeline: List[TimelinePoint] = []
         failures: List[TrialFailure] = []
+        fault_events: List[FaultEvent] = []
         total_energy = 0.0
 
         while not algorithm.done:
@@ -226,6 +303,7 @@ class HptJobRunner:
                         self.env.process(
                             self._gated_trial(
                                 slots,
+                                fault_events,
                                 env=self.env,
                                 cluster=self.cluster,
                                 trial_id=f"{spec.name}/{suggestion.trial_id}"
@@ -309,6 +387,7 @@ class HptJobRunner:
             trials=list(self._results.values()),
             timeline=timeline,
             failures=failures,
+            fault_events=fault_events,
         )
 
 

@@ -23,7 +23,8 @@ from ..simulation.cluster import Allocation, SimCluster
 from ..simulation.des import Environment, Event, SimulationError
 from ..workloads.accuracy import accuracy_at_epoch
 from ..workloads.perfmodel import active_cores, epoch_cost, working_set_gb
-from .errors import TrialOutOfMemory
+from .errors import NodeDeparted, TrialCrashed, TrialOutOfMemory, TrialPreempted
+from .faults import FaultModel
 from ..workloads.spec import (
     BASE_CPU_FREQ_GHZ,
     HyperParams,
@@ -145,6 +146,8 @@ def run_trial(
     noisy: bool = True,
     setup_cost_s: float = 0.0,
     oom_threshold: Optional[float] = None,
+    faults: Optional[FaultModel] = None,
+    attempt: int = 0,
 ) -> Generator:
     """DES process: run epochs ``start_epoch+1 .. target_epochs``.
 
@@ -166,6 +169,15 @@ def run_trial(
     :class:`TrialOutOfMemory` (resources are still released). ``None``
     disables failures — memory shortage then only slows the trial via
     the pressure penalty, as in the paper's reported runs.
+
+    ``faults`` injects the hostile-world fault model (preemption,
+    churn, crashes, stragglers — see :mod:`~repro.tune.faults`): at
+    most one fault fires per epoch, strikes a drawn fraction into it
+    (the partial work is paid in simulated time) and raises the
+    matching :class:`~repro.tune.errors.TrialError` subclass for the
+    runner to recover from. ``attempt`` numbers the recoveries so each
+    re-run draws its own deterministic fault schedule. ``None`` (the
+    default) injects nothing and leaves every stream untouched.
     """
     hooks = hooks or TrialHooks()
     profiler = profiler or EpochProfiler()
@@ -173,6 +185,9 @@ def run_trial(
     if epochs <= start_epoch:
         raise ValueError("target epochs must exceed start_epoch")
     trial_seed = stable_seed("trial", trial_id, workload.name)
+    slowdown = 1.0
+    if faults is not None:
+        slowdown = faults.straggler_slowdown(trial_id, attempt)
 
     start_time = env.now
     allocation = yield from cluster.allocate(system.cores, system.memory_gb)
@@ -244,6 +259,7 @@ def run_trial(
                 epochs - epoch >= 1
                 and hooks.runout_inert(ctx, epoch)
                 and not allocation.node.power_observed
+                and (faults is None or not faults.active)
                 and (
                     oom_threshold is None
                     or working_set_gb(workload, hyper)
@@ -358,12 +374,32 @@ def run_trial(
             cost = epoch_cost(
                 ctx.config, epoch=epoch, contention=contention, noisy=noisy
             )
-            duration = cost.total_s
+            duration = cost.total_s * slowdown
             profiled = hooks.wants_profiling(ctx, epoch)
             if profiled:
                 duration *= profiler.overhead_factor()
             duration += max(0.0, hooks.epoch_extra_delay_s(ctx, epoch))
             busy = active_cores(ctx.config, cost)
+
+            if faults is not None:
+                event = faults.draw_event(trial_id, attempt, epoch)
+                if event is not None:
+                    kind, fraction = event
+                    # the partial epoch is wasted but not free: the
+                    # trial burns simulated time up to the strike.
+                    yield env.timeout(fraction * duration)
+                    if kind == "preemption":
+                        spec = faults.preemption
+                        every = spec.checkpoint_every_epochs
+                        checkpoint = max(
+                            start_epoch, ((epoch - 1) // every) * every
+                        )
+                        raise TrialPreempted(trial_id, epoch, checkpoint)
+                    if kind == "churn":
+                        raise NodeDeparted(
+                            trial_id, epoch, allocation.node.spec.name
+                        )
+                    raise TrialCrashed(trial_id, epoch)
 
             allocation.node.notify_busy(busy)
             yield env.timeout(duration)

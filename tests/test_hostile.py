@@ -1,0 +1,497 @@
+"""Hostile-world robustness tests (PR 6).
+
+Four concerns, one file:
+
+* the fault taxonomy — every :class:`TrialError` subclass can be
+  raised by injection, is contained into a :class:`TrialFailure`, and
+  never crashes the HPT job;
+* determinism of injected chaos — fault schedules are pure functions
+  of their counter keys, identical serial vs pooled (hypothesis
+  property plus end-to-end byte equality);
+* harness containment — a raising chain, a dying worker or a hung
+  worker produces structured :class:`ChainFailure` outcomes instead of
+  poisoning the pool, and the serial path attaches step context;
+* graceful sweeps — one crashing variant still yields every other
+  variant's table.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import (
+    SCENARIO_REGISTRY,
+    ChainFailure,
+    FailureSpec,
+    ProcessPoolBackend,
+    Scenario,
+    ScenarioRunner,
+    StepExecutionError,
+    Sweep,
+    SweepAxis,
+    get_definition,
+    register,
+    run_sweep,
+)
+from repro.scenarios.result import ExperimentResult
+from repro.scenarios.runner import AnalysisStep
+from repro.simulation.cluster import NodeSpec, SimCluster, paper_distributed_cluster
+from repro.simulation.des import Environment
+from repro.tune.errors import (
+    NodeDeparted,
+    TrialCrashed,
+    TrialError,
+    TrialPreempted,
+)
+from repro.tune.faults import (
+    ChurnSpec,
+    CrashSpec,
+    FaultModel,
+    PreemptionSpec,
+    RetryPolicy,
+    StragglerSpec,
+)
+from repro.tune.runner import HptJobSpec, TrialFailure, run_hpt_job
+from repro.tune.trainer import run_trial
+from repro.hpo.algorithms import RandomSearch
+from repro.hpo.space import joint_space
+from repro.tune.objectives import accuracy_per_time_objective
+from repro.workloads.registry import LENET_MNIST
+from repro.workloads.spec import HyperParams, SystemParams
+
+# ---------------------------------------------------------------------------
+# Fault taxonomy: every error type injected, contained, survivable
+# ---------------------------------------------------------------------------
+
+
+def run_faulty_trial(faults, attempt=0):
+    env = Environment()
+    cluster = SimCluster(env, [NodeSpec("n0", cores=16, memory_gb=64.0)])
+    process = env.process(
+        run_trial(
+            env,
+            cluster,
+            trial_id="t0",
+            workload=LENET_MNIST,
+            hyper=HyperParams(batch_size=128, epochs=3),
+            system=SystemParams(cores=4, memory_gb=16.0),
+            faults=faults,
+            attempt=attempt,
+        )
+    )
+    env.run()
+    return env, cluster, process
+
+
+class TestFaultTaxonomy:
+    def test_certain_preemption_raises(self):
+        faults = FaultModel(preemption=PreemptionSpec(rate_per_epoch=1.0))
+        _, _, process = run_faulty_trial(faults)
+        with pytest.raises(TrialPreempted) as err:
+            _ = process.value
+        assert err.value.epoch == 1
+        assert err.value.checkpoint_epoch == 0
+        assert isinstance(err.value, TrialError)
+
+    def test_certain_churn_raises(self):
+        faults = FaultModel(churn=ChurnSpec(rate_per_epoch=1.0))
+        _, _, process = run_faulty_trial(faults)
+        with pytest.raises(NodeDeparted) as err:
+            _ = process.value
+        assert err.value.node == "n0"
+
+    def test_certain_crash_raises(self):
+        faults = FaultModel(crash=CrashSpec(rate_per_epoch=1.0))
+        _, _, process = run_faulty_trial(faults)
+        with pytest.raises(TrialCrashed) as err:
+            _ = process.value
+        assert err.value.epoch == 1
+
+    def test_fault_resources_released(self):
+        faults = FaultModel(crash=CrashSpec(rate_per_epoch=1.0))
+        _, cluster, process = run_faulty_trial(faults)
+        with pytest.raises(TrialCrashed):
+            _ = process.value
+        node = cluster.nodes[0]
+        assert node.cores.level == node.spec.cores
+        assert node.memory.level == node.spec.memory_gb
+
+    def test_fault_costs_simulated_time(self):
+        faults = FaultModel(crash=CrashSpec(rate_per_epoch=1.0))
+        env, _, process = run_faulty_trial(faults)
+        with pytest.raises(TrialCrashed):
+            _ = process.value
+        assert env.now > 0  # the partial epoch was simulated
+
+    def test_straggler_slows_but_completes(self):
+        slow = FaultModel(
+            straggler=StragglerSpec(fraction=1.0, slowdown=3.0)
+        )
+        env_slow, _, p_slow = run_faulty_trial(slow)
+        env_fast, _, p_fast = run_faulty_trial(None)
+        assert p_slow.value.accuracy == p_fast.value.accuracy
+        assert env_slow.now == pytest.approx(3.0 * env_fast.now)
+
+    def test_inactive_model_changes_nothing(self):
+        env_off, _, p_off = run_faulty_trial(FaultModel())
+        env_none, _, p_none = run_faulty_trial(None)
+        assert env_off.now == env_none.now
+        assert p_off.value.accuracy == p_none.value.accuracy
+
+
+class TestJobSurvivesFaults:
+    def job_spec(self, faults, retry=None, num_samples=12):
+        space = joint_space(nlp=False)
+        return HptJobSpec(
+            workload=LENET_MNIST,
+            algorithm_factory=lambda: RandomSearch(
+                space, num_samples=num_samples, seed=3
+            ),
+            objective=accuracy_per_time_objective,
+            system_policy="v2",
+            faults=faults,
+            retry=retry,
+        )
+
+    def run(self, spec):
+        env = Environment()
+        cluster = paper_distributed_cluster(env)
+        process = run_hpt_job(env, cluster, spec)
+        env.run()
+        return process.value
+
+    def test_unrecoverable_crashes_become_failures(self):
+        result = self.run(
+            self.job_spec(FaultModel(crash=CrashSpec(rate_per_epoch=1.0)))
+        )
+        assert result.num_trials == 0
+        assert result.num_failures == 12
+        for failure in result.failures:
+            assert isinstance(failure, TrialFailure)
+            assert isinstance(failure.error, TrialCrashed)
+        assert all(e.action == "gave-up" for e in result.fault_events)
+
+    def test_retry_policy_recovers_transient_crashes(self):
+        faults = FaultModel(crash=CrashSpec(rate_per_epoch=0.3))
+        no_retry = self.run(self.job_spec(faults))
+        retried = self.run(
+            self.job_spec(faults, retry=RetryPolicy(max_retries=3))
+        )
+        assert retried.num_trials > no_retry.num_trials
+        assert any(e.action == "retried" for e in retried.fault_events)
+
+    def test_preemption_budget_exhaustion_gives_up(self):
+        faults = FaultModel(
+            preemption=PreemptionSpec(rate_per_epoch=1.0, max_events=2)
+        )
+        result = self.run(self.job_spec(faults, num_samples=4))
+        assert result.num_failures == 4
+        for failure in result.failures:
+            assert isinstance(failure.error, TrialPreempted)
+        actions = [e.action for e in result.fault_events]
+        assert actions.count("gave-up") == 4
+        assert actions.count("resumed") == 8  # 2 resumes per trial
+
+    def test_churn_restarts_within_budget(self):
+        faults = FaultModel(churn=ChurnSpec(rate_per_epoch=0.2, max_events=5))
+        result = self.run(self.job_spec(faults))
+        assert result.num_trials > 0
+        restarted = [e for e in result.fault_events if e.action == "restarted"]
+        assert restarted, "0.2/epoch churn over 12 trials must hit"
+        for failure in result.failures:
+            assert isinstance(failure.error, NodeDeparted)
+
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(max_retries=3, backoff_base_s=10.0, backoff_factor=2.0)
+        assert [policy.backoff_s(i) for i in range(3)] == [10.0, 20.0, 40.0]
+
+
+# ---------------------------------------------------------------------------
+# Determinism of injected chaos
+# ---------------------------------------------------------------------------
+
+
+def _draw_task(payload):
+    model, key = payload
+    return model.draw_event(*key)
+
+
+class TestFaultDeterminism:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        crash=st.floats(0.0, 0.5),
+        churn=st.floats(0.0, 0.5),
+        trials=st.integers(1, 5),
+    )
+    def test_fault_schedule_identical_serial_vs_pooled(self, crash, churn, trials):
+        """The fault schedule is a pure function of the counter keys:
+        drawing it in-process and drawing it on a worker pool (any
+        order, any process) must produce the same events."""
+        model = FaultModel(
+            crash=CrashSpec(rate_per_epoch=crash),
+            churn=ChurnSpec(rate_per_epoch=churn),
+        )
+        keys = [
+            (f"trial-{i}", attempt, epoch)
+            for i in range(trials)
+            for attempt in range(2)
+            for epoch in range(1, 8)
+        ]
+        serial = [model.draw_event(*key) for key in keys]
+        reversed_order = [model.draw_event(*key) for key in reversed(keys)]
+        assert serial == list(reversed(reversed_order))
+        with multiprocessing.get_context("fork").Pool(2) as pool:
+            pooled = pool.map(_draw_task, [(model, key) for key in keys])
+        assert serial == pooled
+
+    def test_job_fault_events_are_reproducible(self):
+        faults = FaultModel(
+            preemption=PreemptionSpec(rate_per_epoch=0.1),
+            crash=CrashSpec(rate_per_epoch=0.05),
+        )
+        job = TestJobSurvivesFaults()
+        a = job.run(job.job_spec(faults, retry=RetryPolicy(max_retries=1)))
+        b = job.run(job.job_spec(faults, retry=RetryPolicy(max_retries=1)))
+        assert a.fault_events == b.fault_events
+        assert a.tuning_time_s == b.tuning_time_s
+
+    def test_hostile_scenario_serial_vs_pooled_bytes(self):
+        runner = ScenarioRunner(get_definition("churn-and-crashes"))
+        serial = runner.run(scale=1.0, seed=0)
+        pooled = ScenarioRunner(get_definition("churn-and-crashes")).run(
+            scale=1.0, seed=0, workers=4
+        )
+        assert serial.format_table() == pooled.format_table()
+
+    def test_hostile_fault_ledgers_identical_across_backends(self):
+        runner = ScenarioRunner(get_definition("spot-market-lenet"))
+        plan = runner.plan(scale=1.0, seed=0)
+        serial = runner.execute(plan)
+        pooled = runner.execute(plan, workers=4)
+        assert [r.fault_events for r in serial] == [r.fault_events for r in pooled]
+
+
+# ---------------------------------------------------------------------------
+# Harness containment: raising chains, dying workers, hung workers
+# ---------------------------------------------------------------------------
+
+
+def _ok_analysis(scale, seed):
+    result = ExperimentResult(exhibit="ok", title="ok", columns=["value"])
+    result.add_row(value=1)
+    return result
+
+
+def _boom_analysis(scale, seed):
+    raise RuntimeError("deliberate chain crash")
+
+
+def _exit_analysis(scale, seed):
+    os._exit(13)  # kill the worker outright: no exception, no cleanup
+
+
+def _sleep_analysis(scale, seed):
+    time.sleep(600)
+
+
+def analysis_runner(*fns):
+    scenario = Scenario(name="containment-probe", kind="analysis")
+    steps = [
+        AnalysisStep(name=f"step{i}", fn=fn) for i, fn in enumerate(fns)
+    ]
+    return ScenarioRunner(
+        scenario,
+        collect=lambda plan, outcomes: outcomes,
+        plan_fn=lambda scenario, scale, seed: steps,
+    )
+
+
+class TestContainment:
+    def test_serial_error_carries_step_context(self):
+        runner = analysis_runner(_ok_analysis, _boom_analysis)
+        plan = runner.plan()
+        with pytest.raises(StepExecutionError) as err:
+            runner.execute(plan)
+        assert err.value.scenario == "containment-probe"
+        assert err.value.step_index == 1
+        assert err.value.step_label == "analysis step1"
+        assert isinstance(err.value.original, RuntimeError)
+        assert "deliberate chain crash" in str(err.value)
+
+    def test_raising_chain_contained_in_pool(self):
+        runner = analysis_runner(_ok_analysis, _boom_analysis, _ok_analysis)
+        plan = runner.plan()
+        outcomes = runner.execute(plan, workers=2)
+        assert isinstance(outcomes[0], ExperimentResult)
+        assert isinstance(outcomes[2], ExperimentResult)
+        failure = outcomes[1]
+        assert isinstance(failure, ChainFailure)
+        assert failure.error_type == "RuntimeError"
+        assert "deliberate chain crash" in failure.error
+        assert "deliberate chain crash" in failure.traceback
+        assert failure.step_index == 1
+        assert not failure.skipped
+
+    def test_dying_worker_does_not_poison_the_pool(self):
+        runner = analysis_runner(_exit_analysis, _ok_analysis, _ok_analysis)
+        plan = runner.plan()
+        backend = ProcessPoolBackend(workers=2, chain_retries=1)
+        outcomes, _ = backend.run(plan)
+        failure = outcomes[0]
+        assert isinstance(failure, ChainFailure)
+        assert failure.error_type == "BrokenProcessPool"
+        # innocent bystanders survive (round 1 or isolated retry)
+        assert isinstance(outcomes[1], ExperimentResult)
+        assert isinstance(outcomes[2], ExperimentResult)
+
+    def test_hung_worker_times_out_and_is_reported(self):
+        runner = analysis_runner(_sleep_analysis, _ok_analysis)
+        plan = runner.plan()
+        backend = ProcessPoolBackend(
+            workers=2, chain_timeout_s=2.0, chain_retries=0
+        )
+        started = time.monotonic()
+        outcomes, _ = backend.run(plan)
+        assert time.monotonic() - started < 60
+        failure = outcomes[0]
+        assert isinstance(failure, ChainFailure)
+        assert failure.error_type == "TimeoutError"
+        assert isinstance(outcomes[1], ExperimentResult)
+
+    def test_backend_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(workers=0)
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(workers=2, chain_timeout_s=-1.0)
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(workers=2, chain_retries=-1)
+
+
+# ---------------------------------------------------------------------------
+# Declarative surface: strict parsing + validation
+# ---------------------------------------------------------------------------
+
+
+class TestFailureSpecSurface:
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown failure field.*'oom'"):
+            FailureSpec.from_dict({"oom": 2.0})
+
+    def test_unknown_nested_key_rejected(self):
+        with pytest.raises(ValueError, match="failures.crash.*'rate'"):
+            FailureSpec.from_dict({"crash": {"rate": 0.1}})
+
+    def test_negative_rate_is_a_problem(self):
+        spec = FailureSpec(crash=CrashSpec(rate_per_epoch=-0.1))
+        problems = spec.problems()
+        assert any("failures.crash" in p for p in problems)
+
+    def test_negative_retry_limit_is_a_problem(self):
+        spec = FailureSpec(retry=RetryPolicy(max_retries=-1))
+        assert any("failures.retry" in p for p in spec.problems())
+
+    def test_full_round_trip(self):
+        spec = FailureSpec(
+            oom_threshold=1.8,
+            preemption=PreemptionSpec(rate_per_epoch=0.1),
+            churn=ChurnSpec(rate_per_epoch=0.05),
+            crash=CrashSpec(rate_per_epoch=0.02),
+            straggler=StragglerSpec(fraction=0.2, slowdown=2.0),
+            retry=RetryPolicy(max_retries=2),
+        )
+        assert FailureSpec.from_dict(spec.as_dict()) == spec
+
+    def test_hostile_scenarios_round_trip(self):
+        for name in ("spot-market-lenet", "churn-and-crashes", "hostile-storm"):
+            scenario = get_definition(name).scenario
+            assert Scenario.from_dict(scenario.as_dict()) == scenario
+
+    def test_builder_verbs_compose(self):
+        built = (
+            Scenario.builder("verbs")
+            .workloads("lenet-mnist")
+            .inject_oom(threshold=1.8)
+            .inject_preemption(rate_per_epoch=0.1)
+            .inject_churn(rate_per_epoch=0.05)
+            .inject_crashes(rate_per_epoch=0.02)
+            .inject_stragglers(fraction=0.1)
+            .retry_policy(max_retries=2)
+        )
+        failures = built._fields["failures"]
+        assert failures.oom_threshold == 1.8
+        assert failures.preemption.rate_per_epoch == 0.1
+        assert failures.churn.rate_per_epoch == 0.05
+        assert failures.crash.rate_per_epoch == 0.02
+        assert failures.straggler.fraction == 0.1
+        assert failures.retry.max_retries == 2
+
+
+# ---------------------------------------------------------------------------
+# Sweeps degrade gracefully
+# ---------------------------------------------------------------------------
+
+
+def _fragile_collect(plan, outcomes):
+    if plan.scenario.repetitions == 3:
+        raise RuntimeError("variant exploded")
+    result = ExperimentResult(exhibit="f", title="fragile", columns=["trials"])
+    result.add_row(trials=sum(r.num_trials for r in outcomes))
+    return result
+
+
+@pytest.fixture
+def fragile_scenario():
+    from repro.scenarios import tune_v1
+
+    name = "fragile-lenet"
+    scenario = (
+        Scenario.builder(name)
+        .workloads("lenet-mnist")
+        .algorithm("random", num_samples=4, epochs=3)
+        .compare(tune_v1())
+        .build()
+    )
+    register(scenario, collect=_fragile_collect, source="user")
+    yield name
+    del SCENARIO_REGISTRY[name]
+
+
+class TestSweepDegradation:
+    def sweep(self, name):
+        return Sweep(
+            name="fragility",
+            scenario=name,
+            axes=(SweepAxis("repetitions", (1, 3, 1)),),
+        )
+
+    def test_crashing_variant_yields_partial_results(self, fragile_scenario):
+        outcome = run_sweep(self.sweep(fragile_scenario), scale=1.0, seed=0)
+        assert len(outcome.outcomes) == 3
+        assert len(outcome.failed) == 1
+        assert len(outcome.surviving) == 2
+        failed = outcome.failed[0]
+        assert not failed.ok
+        assert failed.error_type == "RuntimeError"
+        assert "variant exploded" in failed.error
+        for survivor in outcome.surviving:
+            assert survivor.result.rows
+
+    def test_crashing_variant_contained_under_pool(self, fragile_scenario):
+        outcome = run_sweep(
+            self.sweep(fragile_scenario), scale=1.0, seed=0, workers=2
+        )
+        assert len(outcome.failed) == 1
+        assert len(outcome.surviving) == 2
+
+    def test_failure_serialises(self, fragile_scenario):
+        outcome = run_sweep(self.sweep(fragile_scenario), scale=1.0, seed=0)
+        payload = outcome.as_dict()
+        flags = [v["ok"] for v in payload["variants"]]
+        assert flags.count(False) == 1
+        failed = [v for v in payload["variants"] if not v["ok"]][0]
+        assert failed["result"] is None
+        assert failed["error_type"] == "RuntimeError"
