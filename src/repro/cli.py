@@ -1,4 +1,4 @@
-"""Command-line interface: scenarios, paper exhibits, one-off tuning.
+"""Command-line interface: scenarios, sweeps, the service, one-off tuning.
 
 The scenario API is the front door::
 
@@ -14,63 +14,88 @@ and execute it, optionally across a worker pool::
     python -m repro.cli sweep list [--json]
     python -m repro.cli sweep run arrival-rate --scale 0.4 --workers 4
 
-Legacy entry points stay available::
+The same API runs as a long-lived daemon, and the bundled client
+drives it (see README, "Running as a service")::
+
+    python -m repro.cli serve --port 8765
+    python -m repro.cli client submit fig09 --wait
+    python -m repro.cli client scenarios
+
+Legacy entry points stay available (``run`` is a deprecated alias of
+``scenario run`` kept for scripts; prefer the scenario API)::
 
     python -m repro.cli list
     python -m repro.cli run table2 --scale 0.5 --seed 1
     python -m repro.cli tune lenet-mnist --system pipetune
 
+Every subcommand accepts ``--json`` and then emits the shared envelope
+``{"ok": bool, "data": ..., "error": ...}`` on stdout — errors exit
+non-zero with a machine-readable body instead of prose on stderr.
 ``run ... --out`` writes tables through the golden-trace serializer
 and refuses (without ``--force``) to write files named like the
-committed exhibits at non-canonical parameters. Exit status is
-non-zero on unknown scenarios/exhibits/workloads so the CLI is
-scriptable.
+committed exhibits at non-canonical parameters.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import difflib
 import json
 import sys
 import time
 from typing import List, Optional
 
-import numpy as np
-
 from .experiments import EXHIBIT_RUNS, EXHIBITS, golden
 from .scenarios import (
     SCENARIO_REGISTRY,
     SWEEP_REGISTRY,
     ScenarioError,
+    StepExecutionError,
     SweepError,
     execute_job,
     get_definition,
     get_sweep,
+    is_failure,
     make_pipetune_session,
     make_pipetune_spec,
     make_v1_spec,
     make_v2_spec,
     run_sweep,
 )
+from .scenarios.backends import ContainedSerialBackend
+from .scenarios.views import (
+    failure_view,
+    jsonify,
+    scenario_describe_payload,
+    scenario_summary,
+    sweep_summary,
+)
+from .service.envelope import error_envelope, ok_envelope
 from .workloads.registry import ALL_WORKLOADS, get_workload, type12_workloads
 
 
-def _jsonify(value):
-    """JSON-safe copy: numpy scalars -> Python, containers recursed."""
-    if isinstance(value, np.integer):
-        return int(value)
-    if isinstance(value, np.floating):
-        return float(value)
-    if isinstance(value, dict):
-        return {k: _jsonify(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonify(v) for v in value]
-    return value
+def _print_envelope(payload) -> None:
+    print(json.dumps(jsonify(payload), indent=2, sort_keys=True))
 
 
-def _print_json(payload) -> None:
-    print(json.dumps(_jsonify(payload), indent=2, sort_keys=True))
+def _emit_ok(data) -> int:
+    _print_envelope(ok_envelope(data))
+    return 0
+
+
+def _emit_error(error_type: str, message: str, data=None, exit_code: int = 2) -> int:
+    """Machine-readable failure: envelope on stdout, non-zero exit."""
+    _print_envelope(error_envelope(error_type, message, data=data))
+    return exit_code
+
+
+def _fail(args, error_type: str, message: str, exit_code: int = 2) -> int:
+    """Route one error to the active surface: envelope or stderr."""
+    if getattr(args, "json", False):
+        return _emit_error(error_type, message, exit_code=exit_code)
+    print(message, file=sys.stderr)
+    return exit_code
 
 
 # ---------------------------------------------------------------------------
@@ -78,27 +103,40 @@ def _print_json(payload) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _cmd_list(_args) -> int:
-    width = max(len(k) for k in EXHIBITS)
-    for key, module in EXHIBITS.items():
-        title = (module.__doc__ or "").strip().splitlines()[0]
-        print(f"{key:<{width}}  {title}")
+def _cmd_list(args) -> int:
+    entries = [
+        {
+            "exhibit": key,
+            "title": (module.__doc__ or "").strip().splitlines()[0],
+        }
+        for key, module in EXHIBITS.items()
+    ]
+    if args.json:
+        return _emit_ok(entries)
+    width = max(len(entry["exhibit"]) for entry in entries)
+    for entry in entries:
+        print(f"{entry['exhibit']:<{width}}  {entry['title']}")
     return 0
 
 
 def _cmd_run(args) -> int:
+    print(
+        "note: `repro run` is deprecated; use `repro scenario run` "
+        "(same exhibits, richer output)",
+        file=sys.stderr,
+    )
     keys: List[str]
     if args.exhibit == "all":
         keys = list(EXHIBITS)
     elif args.exhibit in EXHIBITS:
         keys = [args.exhibit]
     else:
-        print(
+        return _fail(
+            args,
+            "UnknownExhibit",
             f"unknown exhibit {args.exhibit!r}; choose from: "
             f"{', '.join(EXHIBITS)} or 'all'",
-            file=sys.stderr,
         )
-        return 2
     # Unspecified --scale/--seed resolve per exhibit: the canonical
     # golden-trace parameters when writing --out (so `run all --out`
     # reproduces the committed files exactly), 1.0/0 otherwise.
@@ -126,29 +164,43 @@ def _cmd_run(args) -> int:
                 f"{k}=(scale {EXHIBIT_RUNS[k].scale}, seed {EXHIBIT_RUNS[k].seed})"
                 for k in mismatched
             )
-            print(
+            return _fail(
+                args,
+                "NonCanonicalOut",
                 f"refusing --out at non-canonical parameters for {mismatched} "
                 f"(canonical: {canonical}); files under --out are named like "
                 "the committed golden traces. Re-run with --force to write "
                 "anyway, or drop --scale/--seed overrides.",
-                file=sys.stderr,
             )
-            return 2
         if mismatched:
             print(
                 f"warning: writing {mismatched} at non-canonical parameters "
                 "(--force)",
                 file=sys.stderr,
             )
+    rendered = []
     for key in keys:
         scale, seed = resolve(key)
         started = time.time()
         result = EXHIBITS[key].run(scale=scale, seed=seed)
-        table = result.format_table()
-        print(table)
-        print(f"[{key}: {time.time() - started:.1f}s]\n")
+        elapsed = time.time() - started
+        if args.json:
+            rendered.append(
+                {
+                    "exhibit": key,
+                    "scale": scale,
+                    "seed": seed,
+                    "elapsed_s": round(elapsed, 3),
+                    "result": result.as_dict(),
+                }
+            )
+        else:
+            print(result.format_table())
+            print(f"[{key}: {elapsed:.1f}s]\n")
         if args.out:
             golden.write_trace(key, golden.render_result(result), args.out)
+    if args.json:
+        return _emit_ok(rendered)
     return 0
 
 
@@ -156,8 +208,7 @@ def _cmd_tune(args) -> int:
     try:
         workload = get_workload(args.workload)
     except KeyError as error:
-        print(error, file=sys.stderr)
-        return 2
+        return _fail(args, "UnknownWorkload", str(error.args[0]))
     distributed = workload.workload_type != "III"
     if args.system == "pipetune":
         session = make_pipetune_session(distributed=distributed, seed=args.seed)
@@ -172,6 +223,21 @@ def _cmd_tune(args) -> int:
     else:  # pragma: no cover - argparse choices guard this
         return 2
     result = execute_job(spec, distributed=distributed)
+    if args.json:
+        return _emit_ok(
+            {
+                "workload": workload.name,
+                "system": args.system,
+                "seed": args.seed,
+                "best_accuracy_pct": 100 * result.best_accuracy,
+                "best_hyper": dataclasses.asdict(result.best_hyper),
+                "best_system": dataclasses.asdict(result.best_system),
+                "training_time_s": result.best_training_time_s,
+                "tuning_time_s": result.tuning_time_s,
+                "tuning_energy_kj": result.tuning_energy_j / 1000,
+                "trials": result.num_trials,
+            }
+        )
     print(f"workload        : {workload.name}")
     print(f"system          : {args.system}")
     print(f"best accuracy   : {100 * result.best_accuracy:.2f}%")
@@ -189,27 +255,11 @@ def _cmd_tune(args) -> int:
 # ---------------------------------------------------------------------------
 
 
-def _scenario_summary(definition) -> dict:
-    scenario = definition.scenario
-    return {
-        "name": scenario.name,
-        "source": definition.source,
-        "kind": scenario.kind,
-        "exhibit": scenario.exhibit,
-        "title": scenario.title,
-        "description": scenario.description,
-        "workloads": list(scenario.workloads),
-        "systems": [policy.label for policy in scenario.systems],
-        "algorithm": scenario.algorithm.name,
-        "tenancy": scenario.tenancy.mode,
-        "repetitions": scenario.repetitions,
-    }
-
-
 def _cmd_scenario_list(args) -> int:
     if args.json:
-        _print_json([_scenario_summary(d) for d in SCENARIO_REGISTRY.values()])
-        return 0
+        return _emit_ok(
+            [scenario_summary(d) for d in SCENARIO_REGISTRY.values()]
+        )
     width = max(len(name) for name in SCENARIO_REGISTRY)
     for name, definition in SCENARIO_REGISTRY.items():
         scenario = definition.scenario
@@ -218,44 +268,18 @@ def _cmd_scenario_list(args) -> int:
     return 0
 
 
-def _get_definition_or_fail(name: str):
-    try:
-        return get_definition(name)
-    except KeyError as error:
-        print(error.args[0], file=sys.stderr)
-        return None
-
-
 def _cmd_scenario_describe(args) -> int:
-    definition = _get_definition_or_fail(args.name)
-    if definition is None:
-        return 2
+    try:
+        definition = get_definition(args.name)
+    except KeyError as error:
+        return _fail(args, "UnknownScenario", str(error.args[0]))
+    if args.json:
+        return _emit_ok(
+            scenario_describe_payload(definition, scale=args.scale, seed=args.seed)
+        )
     runner = definition.runner()
     plan = runner.plan(scale=args.scale, seed=args.seed)
     chains = plan.chains()
-    if args.json:
-        _print_json(
-            {
-                "source": definition.source,
-                "scenario": definition.scenario.as_dict(),
-                "plan": {
-                    "scale": plan.scale,
-                    "seed": plan.seed,
-                    "seeds": list(plan.seeds),
-                    "steps": plan.describe(),
-                    "chains": [
-                        {
-                            "index": chain.index,
-                            "shares_session": chain.shares_session,
-                            "steps": list(chain.indices),
-                            "labels": [step.label for step in chain.steps],
-                        }
-                        for chain in chains
-                    ],
-                },
-            }
-        )
-        return 0
     scenario = definition.scenario
     print(f"scenario   : {scenario.name} [{definition.source}]")
     if scenario.exhibit:
@@ -302,11 +326,12 @@ def _cmd_scenario_describe(args) -> int:
 
 
 def _cmd_scenario_run(args) -> int:
-    definition = _get_definition_or_fail(args.name)
-    if definition is None:
-        return 2
+    try:
+        definition = get_definition(args.name)
+    except KeyError as error:
+        return _fail(args, "UnknownScenario", str(error.args[0]))
     if args.check:
-        return _scenario_check(args.name, workers=args.workers)
+        return _scenario_check(args.name, workers=args.workers, as_json=args.json)
     canonical = EXHIBIT_RUNS.get(args.name)
     scale, seed = args.scale, args.seed
     if scale is None:
@@ -319,14 +344,14 @@ def _cmd_scenario_run(args) -> int:
             canonical.seed,
         ):
             if not args.force:
-                print(
+                return _fail(
+                    args,
+                    "NonCanonicalOut",
                     f"refusing --out: {args.name} is a committed exhibit and "
                     f"(scale {scale}, seed {seed}) differs from its canonical "
                     f"(scale {canonical.scale}, seed {canonical.seed}); "
                     "re-run with --force to write anyway.",
-                    file=sys.stderr,
                 )
-                return 2
             print(
                 f"warning: writing {args.name} at non-canonical parameters "
                 "(--force)",
@@ -335,44 +360,94 @@ def _cmd_scenario_run(args) -> int:
     runner = definition.runner()
     started = time.time()
     try:
-        result = runner.run(scale=scale, seed=seed, workers=args.workers)
-    except ScenarioError as error:
-        print(error, file=sys.stderr)
-        return 2
-    elapsed = time.time() - started
-    if args.json:
-        _print_json(
-            {
-                "scenario": args.name,
-                "source": definition.source,
-                "scale": scale,
-                "seed": seed,
-                "workers": args.workers or 1,
-                "elapsed_s": round(elapsed, 3),
-                "result": result.as_dict(),
-            }
+        plan = runner.plan(scale=scale, seed=seed)
+        runner.validate(plan)
+        # with --json a raising step must surface in the envelope, not
+        # as a traceback: serial runs swap in the containing backend
+        # (pool semantics) so failures arrive as structured outcomes.
+        backend = (
+            ContainedSerialBackend()
+            if args.json and (args.workers is None or args.workers <= 1)
+            else None
         )
+        outcomes = runner.execute(plan, workers=args.workers, backend=backend)
+        result = runner.collect(plan, outcomes)
+    except ScenarioError as error:
+        return _fail(args, "ScenarioError", str(error))
+    except StepExecutionError as error:
+        # non-json serial runs keep the raise-with-context behaviour.
+        if not args.json:
+            raise
+        return _emit_error("StepExecutionError", str(error), exit_code=1)
+    elapsed = time.time() - started
+    failures = [failure_view(o) for o in outcomes if is_failure(o)]
+    if args.json:
+        data = {
+            "scenario": args.name,
+            "source": definition.source,
+            "scale": scale,
+            "seed": seed,
+            "workers": args.workers or 1,
+            "elapsed_s": round(elapsed, 3),
+            "failures": failures,
+            "result": result.as_dict(),
+        }
+        if failures:
+            # partial table: the envelope carries both the surviving
+            # rows and the structured failures, and the exit is non-zero.
+            _print_envelope(
+                error_envelope(
+                    "ChainFailure",
+                    f"{len(failures)} step(s) failed; surviving steps "
+                    "still collected",
+                    data=data,
+                )
+            )
+        else:
+            _print_envelope(ok_envelope(data))
     else:
         print(result.format_table())
         print(f"[{args.name}: {elapsed:.1f}s]")
+        if failures:
+            print(f"{len(failures)} step(s) failed:", file=sys.stderr)
+            for failure in failures:
+                print(
+                    f"  step {failure['step_index']} ({failure['step_label']}): "
+                    f"{failure['error_type']}: {failure['error']}",
+                    file=sys.stderr,
+                )
     if args.out:
         path = golden.write_trace(args.name, golden.render_result(result), args.out)
         if not args.json:
             print(f"wrote {path}")
-    return 0
+    return 1 if failures else 0
 
 
-def _scenario_check(name: str, workers: Optional[int] = None) -> int:
+def _scenario_check(
+    name: str, workers: Optional[int] = None, as_json: bool = False
+) -> int:
     """Re-run a committed exhibit scenario at its canonical parameters
     and byte-diff the rendered table against the golden trace."""
     if name not in EXHIBIT_RUNS:
-        print(
+        message = (
             f"{name!r} has no committed golden trace "
-            f"(committed: {', '.join(EXHIBIT_RUNS)})",
-            file=sys.stderr,
+            f"(committed: {', '.join(EXHIBIT_RUNS)})"
         )
+        if as_json:
+            return _emit_error("NoGoldenTrace", message)
+        print(message, file=sys.stderr)
         return 2
     diff = golden.check([name], workers=workers)[name]
+    if as_json:
+        data = {"scenario": name, "status": diff.status}
+        if diff.status == "ok":
+            return _emit_ok(data)
+        return _emit_error(
+            "GoldenTraceMismatch",
+            f"{name} does not match its committed golden trace",
+            data=data,
+            exit_code=1,
+        )
     print(f"{name}: {diff.status}")
     if diff.status == "ok":
         return 0
@@ -395,21 +470,9 @@ def _scenario_check(name: str, workers: Optional[int] = None) -> int:
 # ---------------------------------------------------------------------------
 
 
-def _sweep_summary(sweep) -> dict:
-    return {
-        "name": sweep.name,
-        "scenario": sweep.scenario,
-        "title": sweep.title,
-        "description": sweep.description,
-        "axes": [axis.as_dict() for axis in sweep.axes],
-        "variants": sweep.grid_size,
-    }
-
-
 def _cmd_sweep_list(args) -> int:
     if args.json:
-        _print_json([_sweep_summary(s) for s in SWEEP_REGISTRY.values()])
-        return 0
+        return _emit_ok([sweep_summary(s) for s in SWEEP_REGISTRY.values()])
     width = max(len(name) for name in SWEEP_REGISTRY)
     for name, sweep in SWEEP_REGISTRY.items():
         axes = " x ".join(f"{axis.path}({len(axis.values)})" for axis in sweep.axes)
@@ -424,22 +487,30 @@ def _cmd_sweep_run(args) -> int:
     try:
         sweep = get_sweep(args.name)
     except KeyError as error:
-        print(error.args[0], file=sys.stderr)
-        return 2
+        return _fail(args, "UnknownSweep", str(error.args[0]))
     started = time.time()
     try:
         outcome = run_sweep(
             sweep, scale=args.scale, seed=args.seed, workers=args.workers
         )
     except SweepError as error:
-        print(error, file=sys.stderr)
-        return 2
+        return _fail(args, "SweepError", str(error))
     elapsed = time.time() - started
+    failed = len(outcome.failed)
     if args.json:
         payload = outcome.as_dict()
         payload["elapsed_s"] = round(elapsed, 3)
-        _print_json(payload)
-        return 0
+        if failed:
+            _print_envelope(
+                error_envelope(
+                    "VariantFailure",
+                    f"{failed} of {len(outcome.outcomes)} variant(s) failed; "
+                    "surviving variants still carry their tables",
+                    data=payload,
+                )
+            )
+            return 1
+        return _emit_ok(payload)
     for variant in outcome.outcomes:
         if variant.ok:
             print(f"=== {variant.name} ({variant.elapsed_s:.1f}s)")
@@ -448,7 +519,6 @@ def _cmd_sweep_run(args) -> int:
             print(f"=== {variant.name} FAILED ({variant.elapsed_s:.1f}s)")
             print(f"{variant.error_type}: {variant.error}")
         print()
-    failed = len(outcome.failed)
     summary = f"{len(outcome.outcomes)} variants"
     if failed:
         summary += f" ({failed} FAILED)"
@@ -457,6 +527,99 @@ def _cmd_sweep_run(args) -> int:
         f"wall, workers={outcome.workers}]"
     )
     return 1 if failed else 0
+
+
+# ---------------------------------------------------------------------------
+# Service commands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_serve(args) -> int:
+    from .service import ServerConfig
+    from .service.app import routes
+    from .service.server import serve
+
+    data = {}
+    if args.config:
+        try:
+            with open(args.config, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as error:
+            return _fail(args, "BadConfig", f"cannot read {args.config}: {error}")
+    try:
+        config = ServerConfig.from_dict(data)
+        if args.host is not None:
+            config.host = args.host
+        if args.port is not None:
+            config.port = args.port
+        if args.workers is not None:
+            config.queue.workers = args.workers
+        if args.queue_capacity is not None:
+            config.queue.capacity = args.queue_capacity
+        config.validate()
+    except (TypeError, ValueError) as error:
+        return _fail(args, "BadConfig", str(error))
+    chain = " -> ".join(m.kind for m in config.middleware.middlewares) or "none"
+    print(
+        f"repro service on http://{config.host}:{config.port} "
+        f"({config.queue.workers} worker(s), queue capacity "
+        f"{config.queue.capacity})",
+        file=sys.stderr,
+    )
+    print(f"middleware: {chain}", file=sys.stderr)
+    for route in routes():
+        print(f"  {route}", file=sys.stderr)
+    serve(config)
+    return 0
+
+
+def _client_output(args, data) -> int:
+    _print_envelope(ok_envelope(data))
+    return 0
+
+
+def _cmd_client(args) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, tenant=args.tenant, timeout_s=args.timeout)
+    try:
+        if args.action == "health":
+            return _client_output(args, client.health())
+        if args.action == "scenarios":
+            return _client_output(args, client.scenarios())
+        if args.action == "sweeps":
+            return _client_output(args, client.sweeps())
+        if args.action == "describe":
+            return _client_output(
+                args,
+                client.describe_scenario(args.name, scale=args.scale, seed=args.seed),
+            )
+        if args.action == "jobs":
+            return _client_output(args, client.jobs())
+        if args.action == "submit":
+            submit = client.submit_sweep if args.sweep else client.submit_scenario
+            job = submit(
+                args.name, scale=args.scale, seed=args.seed, workers=args.workers
+            )
+            if not args.wait:
+                return _client_output(args, job)
+            client.wait(job["id"], timeout_s=args.timeout)
+            return _client_output(args, client.result(job["id"]))
+        if args.action == "status":
+            return _client_output(args, client.job(args.name))
+        if args.action == "wait":
+            client.wait(args.name, timeout_s=args.timeout)
+            return _client_output(args, client.job(args.name))
+        if args.action == "result":
+            return _client_output(args, client.result(args.name))
+        if args.action == "cancel":
+            return _client_output(args, client.cancel(args.name))
+    except ServiceError as error:
+        _print_envelope(error_envelope(error.error_type, str(error), data=error.data))
+        return 2 if error.status in (0, 404) else 1
+    except TimeoutError as error:
+        return _emit_error("Timeout", str(error), exit_code=1)
+    return 2  # pragma: no cover - argparse choices guard this
 
 
 # ---------------------------------------------------------------------------
@@ -470,11 +633,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list reproducible exhibits").set_defaults(
-        func=_cmd_list
-    )
+    lst = sub.add_parser("list", help="list reproducible exhibits")
+    lst.add_argument("--json", action="store_true", help="structured output")
+    lst.set_defaults(func=_cmd_list)
 
-    run = sub.add_parser("run", help="regenerate one exhibit (or 'all')")
+    run = sub.add_parser(
+        "run",
+        help="regenerate one exhibit (or 'all') [deprecated: use scenario run]",
+    )
     run.add_argument("exhibit", help="fig01..fig14, table2 or 'all'")
     run.add_argument(
         "--scale",
@@ -489,6 +655,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="base seed (default 0; with --out, each exhibit's canonical seed)",
     )
+    run.add_argument("--json", action="store_true", help="structured output")
     run.add_argument("--out", help="directory to write rendered tables to")
     run.add_argument(
         "--force",
@@ -505,6 +672,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--system", choices=("pipetune", "v1", "v2"), default="pipetune"
     )
     tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--json", action="store_true", help="structured output")
     tune.set_defaults(func=_cmd_tune)
 
     scenario = sub.add_parser(
@@ -585,11 +753,88 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: serial; results are identical for any N)",
     )
     w_run.set_defaults(func=_cmd_sweep_run)
+
+    serve = sub.add_parser(
+        "serve", help="run the scenario service daemon (HTTP/JSON)"
+    )
+    serve.add_argument("--host", default=None, help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=None, help="bind port (default 8765; 0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--config",
+        default=None,
+        help="JSON server config (host, port, queue, middleware); flags override it",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, help="job worker threads (default 2)"
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=None,
+        help="max queued jobs before submissions answer 503 (default 64)",
+    )
+    serve.add_argument("--json", action="store_true", help=argparse.SUPPRESS)
+    serve.set_defaults(func=_cmd_serve)
+
+    client = sub.add_parser(
+        "client", help="drive a running scenario service (envelope output)"
+    )
+    client.add_argument(
+        "action",
+        choices=(
+            "health",
+            "scenarios",
+            "sweeps",
+            "describe",
+            "submit",
+            "status",
+            "wait",
+            "result",
+            "cancel",
+            "jobs",
+        ),
+    )
+    client.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="scenario/sweep name (describe, submit) or job id (status, "
+        "wait, result, cancel)",
+    )
+    client.add_argument(
+        "--url", default="http://127.0.0.1:8765", help="service base URL"
+    )
+    client.add_argument("--tenant", default=None, help="X-Tenant header value")
+    client.add_argument("--scale", type=float, default=1.0)
+    client.add_argument("--seed", type=int, default=0)
+    client.add_argument(
+        "--workers", type=int, default=1, help="per-job worker processes"
+    )
+    client.add_argument(
+        "--sweep", action="store_true", help="submit a registered sweep instead"
+    )
+    client.add_argument(
+        "--wait",
+        action="store_true",
+        help="with submit: block until the job finishes and print its result",
+    )
+    client.add_argument(
+        "--timeout", type=float, default=600.0, help="request/wait timeout seconds"
+    )
+    client.set_defaults(func=_cmd_client, json=True)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    needs_name = {"describe", "submit", "status", "wait", "result", "cancel"}
+    if getattr(args, "command", None) == "client":
+        if args.action in needs_name and not args.name:
+            return _emit_error(
+                "BadUsage", f"client {args.action} needs a name/job id"
+            )
     return args.func(args)
 
 

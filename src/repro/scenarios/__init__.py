@@ -63,6 +63,7 @@ from .runner import (
 )
 from .backends import (
     ChainExecutor,
+    ContainedSerialBackend,
     ProcessPoolBackend,
     SerialBackend,
     backend_for,
@@ -71,6 +72,14 @@ from .backends import (
 from .containment import ChainFailure, StepExecutionError, is_failure
 from .merge import merge_outcomes
 from .planner import ExecutionChain, chain_policy, partition
+from .schema import collect_problems, strict_from_dict
+from .views import (
+    failure_view,
+    jsonify,
+    scenario_describe_payload,
+    scenario_summary,
+    sweep_summary,
+)
 from .spec import (
     ALGORITHM_BUILDERS,
     OBJECTIVES,
@@ -118,6 +127,7 @@ __all__ = [
     "ChainExecutor",
     "ChainFailure",
     "ClusterSpec",
+    "ContainedSerialBackend",
     "ExecutionChain",
     "ExperimentResult",
     "FailureSpec",
@@ -155,13 +165,16 @@ __all__ = [
     "backend_for",
     "build_job_spec",
     "chain_policy",
+    "collect_problems",
     "execute_job",
+    "failure_view",
     "fixed_trial",
     "fresh_cluster",
     "get_definition",
     "get_sweep",
     "hostile",
     "is_failure",
+    "jsonify",
     "make_pipetune_session",
     "make_pipetune_spec",
     "make_v1_spec",
@@ -178,11 +191,15 @@ __all__ = [
     "register_sweep",
     "run_scenario",
     "run_sweep",
+    "scenario_describe_payload",
     "scenario_names",
+    "scenario_summary",
     "seeds_for",
     "session_for_cluster",
     "shared_tenancy_collector",
+    "strict_from_dict",
     "sweep_names",
+    "sweep_summary",
     "tune_v1",
     "tune_v2",
 ]

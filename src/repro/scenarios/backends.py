@@ -41,7 +41,7 @@ import multiprocessing
 from concurrent import futures
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..multitenancy.arrivals import generate_arrivals
 from ..multitenancy.scheduler import MultiTenancyResult, run_multi_tenancy
@@ -111,7 +111,12 @@ class ChainExecutor:
             return step.fn(self.scale, self.seed)
         raise TypeError(f"unknown step type {type(step).__name__}")
 
-    def run_chain(self, chain: ExecutionChain, contain: bool = False) -> List:
+    def run_chain(
+        self,
+        chain: ExecutionChain,
+        contain: bool = False,
+        stop: Optional[Callable[[], bool]] = None,
+    ) -> List:
         """Run one chain's steps in order.
 
         With ``contain=False`` (default) the first raising step
@@ -122,9 +127,32 @@ class ChainExecutor:
         later position of the same chain a skipped one (its session
         state is suspect once an earlier step died), and the list
         stays one-outcome-per-step so merge slots it into plan order.
+
+        ``stop`` is a cooperative cancellation hook (the service's
+        cancel endpoint): it is polled before each step, and once it
+        returns True every remaining position comes back as a skipped
+        ``JobCancelled`` :class:`ChainFailure` — completed steps keep
+        their results, so a cancelled run still collects into a
+        partial table.
         """
         outcomes: List = []
         for offset, (position, step) in enumerate(zip(chain.indices, chain.steps)):
+            if stop is not None and stop():
+                for pos, remaining in zip(
+                    chain.indices[offset:], chain.steps[offset:]
+                ):
+                    outcomes.append(
+                        ChainFailure(
+                            scenario=self.scenario.name,
+                            chain_index=chain.index,
+                            step_index=pos,
+                            step_label=remaining.describe(),
+                            error_type="JobCancelled",
+                            error="job cancelled before this step ran",
+                            skipped=True,
+                        )
+                    )
+                break
             try:
                 outcomes.append(self.run_step(step))
             except Exception as error:
@@ -285,6 +313,39 @@ class SerialBackend:
 
     def __repr__(self) -> str:
         return "SerialBackend()"
+
+
+class ContainedSerialBackend:
+    """Serial execution with pool-style containment, in this process.
+
+    The service layer's default backend: chains run in order on the
+    calling thread, but a raising step is *contained* as
+    :class:`~repro.scenarios.containment.ChainFailure` outcomes (pool
+    semantics) instead of escaping — a submitted job that hits a bad
+    step degrades to a partial table, it never kills the serving
+    worker. ``stop`` adds cooperative cancellation: it is polled
+    between steps and turns every step not yet started into a skipped
+    ``JobCancelled`` failure, so a cancelled job still collects the
+    work it finished. Results for surviving steps are bit-identical to
+    :class:`SerialBackend` (same executor, same streams).
+    """
+
+    workers = 1
+
+    def __init__(self, stop: Optional[Callable[[], bool]] = None):
+        self.stop = stop
+
+    def run(self, plan: ScenarioPlan) -> Tuple[List, Dict[SystemPolicySpec, object]]:
+        executor = ChainExecutor.for_plan(plan)
+        chains = partition(plan)
+        per_chain = [
+            executor.run_chain(chain, contain=True, stop=self.stop)
+            for chain in chains
+        ]
+        return merge_outcomes(plan, chains, per_chain), executor.sessions
+
+    def __repr__(self) -> str:
+        return "ContainedSerialBackend()"
 
 
 def _run_chain_task(payload) -> List:

@@ -32,7 +32,7 @@ shipped as data.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..hpo.algorithms import GridSearch, RandomSearch
@@ -51,12 +51,12 @@ from ..tune.faults import (
     PreemptionSpec,
     RetryPolicy,
     StragglerSpec,
-    strict_from_dict,
 )
 from ..tune.objectives import accuracy_objective, accuracy_per_time_objective
 from ..workloads.registry import ALL_WORKLOADS, get_workload, workloads_of_type
 from ..workloads.spec import HyperParams, SystemParams
 from .jobs import TRIAL_INIT_S, V2_SAMPLE_SCALE, V2_TRIAL_SETUP_S
+from .schema import strict_from_dict, unknown_field_message
 
 #: search algorithms a scenario can name; each builder takes
 #: ``(space, seed=..., **params)``.
@@ -459,20 +459,21 @@ class FailureSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "FailureSpec":
-        data = dict(data)
-        known = {f.name for f in fields(cls)}
-        unknown = sorted(set(data) - known)
-        if unknown:
-            raise ValueError(
-                f"unknown failure field(s) {unknown}; known: {sorted(known)}"
-            )
-        for name, spec_cls in _FAULT_SPEC_TYPES.items():
-            value = data.get(name)
-            if isinstance(value, Mapping):
-                data[name] = strict_from_dict(
-                    spec_cls, value, f"failures.{name}"
+        return strict_from_dict(
+            cls,
+            data,
+            "failure",
+            convert={
+                name: (
+                    lambda value, spec_cls=spec_cls, name=name: strict_from_dict(
+                        spec_cls, value, f"failures.{name}"
+                    )
+                    if isinstance(value, Mapping)
+                    else value
                 )
-        return cls(**data)
+                for name, spec_cls in _FAULT_SPEC_TYPES.items()
+            },
+        )
 
 
 @dataclass(frozen=True)
@@ -697,12 +698,9 @@ class Scenario:
     @classmethod
     def from_dict(cls, data: Mapping) -> "Scenario":
         data = dict(data)
-        known = {f.name for f in fields(cls)}
-        unknown = sorted(set(data) - known)
-        if unknown:
-            raise ScenarioError(
-                str(data.get("name", "?")), [f"unknown scenario field(s) {unknown}"]
-            )
+        message = unknown_field_message(cls, data, "scenario")
+        if message:
+            raise ScenarioError(str(data.get("name", "?")), [message])
         if "cluster" in data:
             data["cluster"] = ClusterSpec.from_dict(data["cluster"])
         if "algorithm" in data:

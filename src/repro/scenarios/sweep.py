@@ -38,6 +38,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from .registry import SCENARIO_REGISTRY, get_definition
 from .result import ExperimentResult
 from .runner import ScenarioRunner
+from .schema import strict_from_dict
 from .spec import Scenario, ScenarioError
 
 
@@ -94,10 +95,8 @@ class SweepAxis:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "SweepAxis":
-        return cls(
-            path=data["path"],
-            values=tuple(data["values"]),
-            labels=tuple(data.get("labels", ())),
+        return strict_from_dict(
+            cls, data, "sweep axis", convert={"values": tuple, "labels": tuple}
         )
 
 
@@ -243,9 +242,14 @@ class Sweep:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "Sweep":
-        data = dict(data)
-        data["axes"] = tuple(SweepAxis.from_dict(a) for a in data.get("axes", ()))
-        return cls(**data)
+        return strict_from_dict(
+            cls,
+            data,
+            "sweep",
+            convert={
+                "axes": lambda axes: tuple(SweepAxis.from_dict(a) for a in axes)
+            },
+        )
 
 
 # ---------------------------------------------------------------------------

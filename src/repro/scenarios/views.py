@@ -1,0 +1,97 @@
+"""Shared structured views of scenarios, sweeps and plans.
+
+One implementation of "render this catalogue entry as JSON-safe data"
+serves every presentation surface: the CLI's ``--json`` output
+(:mod:`repro.cli`) and the scenario service's list/describe endpoints
+(:mod:`repro.service.app`) emit byte-for-byte the same payloads, so a
+client can switch between the two without reparsing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def jsonify(value):
+    """JSON-safe copy: numpy scalars -> Python, containers recursed."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, dict):
+        return {k: jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    return value
+
+
+def scenario_summary(definition) -> Dict:
+    """One catalogue line of ``scenario list --json`` / ``GET /v1/scenarios``."""
+    scenario = definition.scenario
+    return {
+        "name": scenario.name,
+        "source": definition.source,
+        "kind": scenario.kind,
+        "exhibit": scenario.exhibit,
+        "title": scenario.title,
+        "description": scenario.description,
+        "workloads": list(scenario.workloads),
+        "systems": [policy.label for policy in scenario.systems],
+        "algorithm": scenario.algorithm.name,
+        "tenancy": scenario.tenancy.mode,
+        "repetitions": scenario.repetitions,
+    }
+
+
+def scenario_describe_payload(definition, scale: float = 1.0, seed: int = 0) -> Dict:
+    """Full declaration + resolved plan, as ``scenario describe --json``."""
+    runner = definition.runner()
+    plan = runner.plan(scale=scale, seed=seed)
+    chains = plan.chains()
+    return {
+        "source": definition.source,
+        "scenario": definition.scenario.as_dict(),
+        "plan": {
+            "scale": plan.scale,
+            "seed": plan.seed,
+            "seeds": list(plan.seeds),
+            "steps": plan.describe(),
+            "chains": [
+                {
+                    "index": chain.index,
+                    "shares_session": chain.shares_session,
+                    "steps": list(chain.indices),
+                    "labels": [step.label for step in chain.steps],
+                }
+                for chain in chains
+            ],
+        },
+    }
+
+
+def sweep_summary(sweep) -> Dict:
+    """One catalogue line of ``sweep list --json`` / ``GET /v1/sweeps``."""
+    return {
+        "name": sweep.name,
+        "scenario": sweep.scenario,
+        "title": sweep.title,
+        "description": sweep.description,
+        "axes": [axis.as_dict() for axis in sweep.axes],
+        "variants": sweep.grid_size,
+    }
+
+
+def failure_view(outcome) -> Dict:
+    """One contained :class:`~repro.scenarios.containment.ChainFailure`
+    as envelope-ready data (shared by ``scenario run --json`` and the
+    service's job payloads)."""
+    return {
+        "step_index": outcome.step_index,
+        "step_label": outcome.step_label,
+        "chain_index": outcome.chain_index,
+        "error_type": outcome.error_type,
+        "error": outcome.error,
+        "skipped": outcome.skipped,
+    }

@@ -1,0 +1,45 @@
+"""The one JSON envelope every structured surface speaks.
+
+Every CLI ``--json`` output and every service HTTP response is::
+
+    {"ok": true,  "data": <payload>, "error": null}
+    {"ok": false, "data": <partial or null>,
+     "error": {"type": "...", "message": "...", ...}}
+
+so clients branch on ``ok`` and read ``error.type`` machine-readably
+instead of scraping stderr. ``data`` may be non-null on failure when a
+partial result survived (a job cancelled mid-run still carries the
+table of its completed steps).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+def ok_envelope(data) -> Dict:
+    return {"ok": True, "data": data, "error": None}
+
+
+def error_envelope(
+    error_type: str, message: str, data=None, **extra
+) -> Dict:
+    error: Dict = {"type": error_type, "message": message}
+    error.update(extra)
+    return {"ok": False, "data": data, "error": error}
+
+
+def is_envelope(payload) -> bool:
+    return isinstance(payload, dict) and {"ok", "data", "error"} <= set(payload)
+
+
+def unwrap(payload: Dict):
+    """The ``data`` of an ok envelope; raises on a non-ok one."""
+    if not is_envelope(payload):
+        raise ValueError(f"not an envelope: {payload!r}")
+    if not payload["ok"]:
+        error: Optional[Dict] = payload.get("error") or {}
+        raise ValueError(
+            f"{error.get('type', 'Error')}: {error.get('message', 'failed')}"
+        )
+    return payload["data"]

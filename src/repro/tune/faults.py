@@ -35,18 +35,13 @@ def strict_from_dict(cls: Type, data: Optional[Mapping], where: str):
 
     A bare ``cls(**data)`` raises an unhelpful ``TypeError`` naming the
     constructor; this names the offending key(s) and the spec they do
-    not belong to, so a typo'd scenario JSON fails loudly.
+    not belong to, so a typo'd scenario JSON fails loudly. One shared
+    implementation serves every spec family (lazy import — the
+    scenarios package imports this module at its own import time).
     """
-    if data is None:
-        return None
-    data = dict(data)
-    known = {f.name for f in fields(cls)}
-    unknown = sorted(set(data) - known)
-    if unknown:
-        raise ValueError(
-            f"unknown {where} field(s) {unknown}; known: {sorted(known)}"
-        )
-    return cls(**data)
+    from ..scenarios.schema import strict_from_dict as impl
+
+    return impl(cls, data, where)
 
 
 def _spec_dict(spec) -> Optional[Dict]:

@@ -106,7 +106,9 @@ class TestScenarioCommands:
 
     def test_list_json_schema(self, capsys):
         assert main(["scenario", "list", "--json"]) == 0
-        entries = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True and envelope["error"] is None
+        entries = envelope["data"]
         assert len(entries) >= 14
         required = {
             "name",
@@ -136,7 +138,7 @@ class TestScenarioCommands:
         from repro.scenarios import SCENARIO_REGISTRY, Scenario
 
         assert main(["scenario", "describe", "fig11", "--json"]) == 0
-        payload = json.loads(capsys.readouterr().out)
+        payload = json.loads(capsys.readouterr().out)["data"]
         restored = Scenario.from_dict(payload["scenario"])
         assert restored == SCENARIO_REGISTRY["fig11"].scenario
         assert payload["plan"]["steps"]
@@ -147,8 +149,11 @@ class TestScenarioCommands:
 
     def test_run_json_output(self, capsys):
         assert main(["scenario", "run", "fig01", "--json"]) == 0
-        payload = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True and envelope["error"] is None
+        payload = envelope["data"]
         assert payload["scenario"] == "fig01"
+        assert payload["failures"] == []
         assert payload["result"]["exhibit"] == "Figure 1"
         assert payload["result"]["rows"]
 
@@ -197,7 +202,7 @@ class TestParallelCli:
 
     def test_describe_json_chains_tile_the_plan(self, capsys):
         assert main(["scenario", "describe", "fig11", "--json"]) == 0
-        payload = json.loads(capsys.readouterr().out)
+        payload = json.loads(capsys.readouterr().out)["data"]
         chains = payload["plan"]["chains"]
         positions = sorted(i for chain in chains for i in chain["steps"])
         assert positions == list(range(len(payload["plan"]["steps"])))
@@ -207,7 +212,7 @@ class TestParallelCli:
 
     def test_scenario_run_workers_json(self, capsys):
         assert main(["scenario", "run", "fig01", "--json", "--workers", "2"]) == 0
-        payload = json.loads(capsys.readouterr().out)
+        payload = json.loads(capsys.readouterr().out)["data"]
         assert payload["workers"] == 2
         assert payload["result"]["exhibit"] == "Figure 1"
 
@@ -226,7 +231,9 @@ class TestSweepCommands:
 
     def test_list_json_schema(self, capsys):
         assert main(["sweep", "list", "--json"]) == 0
-        entries = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True
+        entries = envelope["data"]
         assert len(entries) >= 3
         required = {"name", "scenario", "title", "description", "axes", "variants"}
         for entry in entries:
@@ -242,7 +249,7 @@ class TestSweepCommands:
     def test_run_json(self, capsys):
         argv = "sweep run cluster-size --scale 0.3 --workers 2 --json".split()
         assert main(argv) == 0
-        payload = json.loads(capsys.readouterr().out)
+        payload = json.loads(capsys.readouterr().out)["data"]
         assert payload["sweep"]["name"] == "cluster-size"
         assert payload["workers"] == 2
         names = [v["name"] for v in payload["variants"]]
@@ -259,3 +266,83 @@ class TestSweepCommands:
         out = capsys.readouterr().out
         assert "=== fig09[cluster.nodes=2]" in out
         assert "3 variants" in out
+
+
+class TestEnvelope:
+    """Every subcommand's --json output is the shared envelope."""
+
+    def test_list_json_envelope(self, capsys):
+        assert main(["list", "--json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True and envelope["error"] is None
+        exhibits = [entry["exhibit"] for entry in envelope["data"]]
+        assert "fig01" in exhibits and "table2" in exhibits
+
+    def test_legacy_run_json_envelope(self, capsys):
+        assert main(["run", "fig01", "--scale", "0.5", "--json"]) == 0
+        captured = capsys.readouterr()
+        envelope = json.loads(captured.out)
+        assert envelope["ok"] is True
+        assert envelope["data"][0]["result"]["rows"]
+
+    def test_legacy_run_warns_deprecated(self, capsys):
+        assert main(["run", "fig01", "--scale", "0.5"]) == 0
+        err = capsys.readouterr().err
+        assert "deprecated" in err and "scenario run" in err
+
+    def test_tune_json_envelope(self, capsys):
+        assert main(["tune", "lenet-mnist", "--system", "v1", "--json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True
+        assert envelope["data"]["workload"] == "lenet-mnist"
+        assert envelope["data"]["trials"] > 0
+
+    def test_json_errors_are_machine_readable(self, capsys):
+        # errors under --json land in the envelope on stdout, exit != 0
+        assert main(["scenario", "run", "fig99", "--json"]) == 2
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is False
+        assert envelope["error"]["type"] == "UnknownScenario"
+        assert "fig99" in envelope["error"]["message"]
+
+    def test_json_unknown_sweep_error(self, capsys):
+        assert main(["sweep", "run", "nope", "--json"]) == 2
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is False
+        assert envelope["error"]["type"] == "UnknownSweep"
+
+    def test_scenario_run_json_reports_chain_failures(self, capsys):
+        # satellite fix: a plan containing failing steps must surface
+        # them in the envelope (contained, partial table) — not as a
+        # traceback — and exit non-zero. spot-market-preemption keeps a
+        # plan that completes; use the hostile crash scenario which
+        # fails deterministically at tiny scale? Instead register an
+        # ad-hoc failing analysis scenario.
+        from repro.scenarios import SCENARIO_REGISTRY, Scenario, register
+        from repro.scenarios.runner import AnalysisStep
+
+        def boom(scale, seed):
+            raise RuntimeError("exploding analysis step")
+
+        def plan_fn(scenario, scale, seed):
+            return [AnalysisStep(name="boom", fn=boom)]
+
+        name = "cli-envelope-failing"
+        register(
+            Scenario.builder(name).kind("analysis").build(),
+            plan_fn=plan_fn,
+            replace=True,
+        )
+        try:
+            assert main(["scenario", "run", name, "--json"]) == 1
+            envelope = json.loads(capsys.readouterr().out)
+            assert envelope["ok"] is False
+            assert envelope["error"]["type"] == "ChainFailure"
+            failures = envelope["data"]["failures"]
+            assert len(failures) == 1
+            assert failures[0]["error_type"] == "RuntimeError"
+            assert "exploding" in failures[0]["error"]
+            # the partial result still rides along
+            assert envelope["data"]["result"] is not None
+        finally:
+            SCENARIO_REGISTRY.pop(name, None)

@@ -59,3 +59,10 @@ class TestExamples:
         assert proc.returncode == 0, proc.stderr
         assert "failed trials" in proc.stdout
         assert "out of memory" in proc.stdout
+
+    def test_service_client(self):
+        proc = run_example("service_client.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "service listening at http://" in proc.stdout
+        assert "byte-identical" in proc.stdout
+        assert "statuses [200, 200, 200, 429]" in proc.stdout

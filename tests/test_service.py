@@ -1,0 +1,478 @@
+"""End-to-end tests for the scenario service.
+
+A real :class:`~repro.service.server.ServiceHTTPServer` runs on a
+daemon thread (ephemeral port) and a real
+:class:`~repro.service.client.ServiceClient` drives it over HTTP —
+the full stack the daemon serves in production, including the default
+middleware chain. The core contract under test: a scenario submitted
+over HTTP returns a result trace byte-identical to the committed
+golden render, including under concurrent in-flight jobs.
+"""
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.experiments import EXHIBIT_RUNS
+from repro.scenarios import SCENARIO_REGISTRY, Scenario, register
+from repro.scenarios.runner import AnalysisStep
+from repro.service import (
+    JobStates,
+    QueueConfig,
+    ServerConfig,
+    ServiceClient,
+    ServiceError,
+    serve_background,
+)
+
+#: exhibits cheap enough to render over HTTP in tier 1 (the same
+#: subset tests/test_determinism.py renders twice).
+FAST_EXHIBITS = ("fig01", "fig08", "fig09")
+
+
+def quiet_config(**overrides):
+    """Default chain minus access_log (keeps pytest stderr readable).
+
+    The rate limiter keeps its default *shape* but gets a deep budget:
+    every test in this module shares one tenant bucket, and the
+    accumulated `wait()` polling would starve the stock 20-token burst
+    long before the later tests run. The stock budget is exercised by
+    the dedicated acceptance + backpressure tests below.
+    """
+    data = {
+        "port": 0,
+        "middleware": [
+            {"kind": "request_id"},
+            {"kind": "timing"},
+            {"kind": "rate_limit", "capacity": 10_000, "refill_per_s": 10_000},
+            {"kind": "quota"},
+        ],
+    }
+    data.update(overrides)
+    return ServerConfig.from_dict(data)
+
+
+@pytest.fixture(scope="module")
+def service():
+    """One live server for the whole module: (server, client)."""
+    config = quiet_config(queue={"workers": 4, "capacity": 32})
+    with serve_background(config) as (server, url):
+        yield server, ServiceClient(url, tenant="tests")
+
+
+def committed_trace(golden, name):
+    with open(golden.committed_path(name), encoding="utf-8", newline="") as handle:
+        return handle.read()
+
+
+class TestCatalogue:
+    def test_health(self, service):
+        _, client = service
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["middleware"] == ["request_id", "timing", "rate_limit", "quota"]
+
+    def test_scenarios_listing_matches_registry(self, service):
+        _, client = service
+        names = [entry["name"] for entry in client.scenarios()]
+        assert names == list(SCENARIO_REGISTRY)
+
+    def test_describe_scenario_includes_plan(self, service):
+        _, client = service
+        payload = client.describe_scenario("fig11", scale=0.5)
+        assert payload["scenario"]["name"] == "fig11"
+        assert payload["plan"]["scale"] == 0.5
+        assert payload["plan"]["chains"]
+
+    def test_sweeps_listing(self, service):
+        _, client = service
+        names = [entry["name"] for entry in client.sweeps()]
+        assert "arrival-rate" in names and "cluster-size" in names
+
+    def test_unknown_routes_and_names_are_404(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.describe_scenario("fig99")
+        assert excinfo.value.status == 404
+        assert excinfo.value.error_type == "NotFound"
+        with pytest.raises(ServiceError) as excinfo:
+            client._call("GET", "/nope")
+        assert excinfo.value.status == 404
+
+
+class TestGoldenOverHttp:
+    def test_submitted_job_trace_is_byte_identical(self, service, golden_exhibits):
+        _, client = service
+        run = EXHIBIT_RUNS["fig01"]
+        job = client.submit_scenario("fig01", scale=run.scale, seed=run.seed)
+        assert job["status"] == JobStates.QUEUED
+        finished = client.wait(job["id"], timeout_s=300)
+        assert finished["status"] == JobStates.DONE
+        payload = client.result(job["id"])
+        assert payload["trace"] == committed_trace(golden_exhibits, "fig01")
+        assert payload["failures"] == []
+        assert payload["result"]["rows"]
+
+    def test_four_concurrent_jobs_all_byte_identical(self, golden_exhibits):
+        # the acceptance bar: byte-identical traces with 4 jobs in
+        # flight at once through the *stock* middleware chain — its
+        # default rate-limit budget included — on a dedicated server.
+        config = ServerConfig.from_dict(
+            {"port": 0, "queue": {"workers": 4, "capacity": 32}}
+        )
+        access_log = io.StringIO()
+        config.middleware.middlewares[1].stream = access_log
+        with serve_background(config) as (_, url):
+            client = ServiceClient(url, tenant="acceptance")
+            names = ("fig01", "fig08", "fig09", "fig01")
+            jobs = [
+                client.submit_scenario(
+                    name,
+                    scale=EXHIBIT_RUNS[name].scale,
+                    seed=EXHIBIT_RUNS[name].seed,
+                )
+                for name in names
+            ]
+            for name, job in zip(names, jobs):
+                client.wait(job["id"], timeout_s=300)
+                payload = client.result(job["id"])
+                assert payload["trace"] == committed_trace(golden_exhibits, name), name
+        records = [json.loads(line) for line in access_log.getvalue().splitlines()]
+        submissions = [r for r in records if r["path"].endswith("/runs")]
+        assert len(submissions) == 4
+        assert all(r["tenant"] == "acceptance" for r in records)
+
+    def test_same_scenario_twice_concurrently_is_reentrant(
+        self, service, golden_exhibits
+    ):
+        _, client = service
+        run = EXHIBIT_RUNS["fig08"]
+        first = client.submit_scenario("fig08", scale=run.scale, seed=run.seed)
+        second = client.submit_scenario("fig08", scale=run.scale, seed=run.seed)
+        traces = []
+        for job in (first, second):
+            client.wait(job["id"], timeout_s=300)
+            traces.append(client.result(job["id"])["trace"])
+        assert traces[0] == traces[1] == committed_trace(golden_exhibits, "fig08")
+
+    def test_inline_scenario_submission(self, service):
+        _, client = service
+        inline = SCENARIO_REGISTRY["fig09"].scenario.as_dict()
+        inline["name"] = "inline-fig09"
+        job = client.submit_inline(inline, scale=0.3)
+        client.wait(job["id"], timeout_s=300)
+        payload = client.result(job["id"])
+        assert payload["name"] == "inline-fig09"
+        assert payload["status"] == JobStates.DONE
+        assert payload["result"]["rows"]
+
+
+class TestJobLifecycle:
+    def test_result_before_finish_is_409(self, service):
+        _, client = service
+        job = client.submit_scenario("fig08", scale=0.3)
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                client.result(job["id"])
+            assert excinfo.value.status == 409
+            assert excinfo.value.error_type == "JobNotFinished"
+        finally:
+            client.wait(job["id"], timeout_s=300)
+
+    def test_unknown_job_is_404(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("job-999999")
+        assert excinfo.value.status == 404
+
+    def test_bad_run_field_is_400(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client._call(
+                "POST", "/v1/scenarios/fig01/runs", body={"scael": 0.5}
+            )
+        assert excinfo.value.status == 400
+        assert "scael" in excinfo.value.error["message"]
+
+    def test_invalid_inline_scenario_is_400(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_inline({"name": "bad", "oops": 1})
+        assert excinfo.value.status == 400
+
+    def test_jobs_listing_in_submission_order(self, service):
+        _, client = service
+        listed = client.jobs()
+        ids = [job["id"] for job in listed]
+        assert ids == sorted(ids)
+
+    def test_cancel_mid_run_keeps_partial_result(self, service):
+        # an ad-hoc scenario whose steps block on an event: cancel
+        # lands mid-run deterministically, the finished step survives.
+        _, client = service
+        release = threading.Event()
+        entered = threading.Event()
+
+        def fast(scale, seed):
+            # blocks until the test has delivered the cancel, so the
+            # executor polls `stop` *after* the event is set and the
+            # next step is deterministically skipped.
+            from repro.scenarios.result import ExperimentResult
+
+            entered.set()
+            release.wait(timeout=30)
+            result = ExperimentResult(
+                exhibit="cancel-probe", title="partial", columns=["value"]
+            )
+            result.add_row(value=1)
+            return result
+
+        def never(scale, seed):
+            raise AssertionError("step ran after cancellation")
+
+        def plan_fn(scenario, scale, seed):
+            return [
+                AnalysisStep(name="fast", fn=fast),
+                AnalysisStep(name="never", fn=never),
+            ]
+
+        name = "service-cancel-probe"
+        register(
+            Scenario.builder(name).kind("analysis").build(),
+            plan_fn=plan_fn,
+            replace=True,
+        )
+        try:
+            job = client.submit_scenario(name)
+            assert entered.wait(timeout=30)
+            cancelled = client.cancel(job["id"])
+            assert cancelled["status"] in (JobStates.RUNNING, JobStates.CANCELLED)
+            release.set()
+            finished = client.wait(job["id"], timeout_s=60)
+            assert finished["status"] == JobStates.CANCELLED
+            payload = client._call("GET", f"/v1/jobs/{job['id']}/result")
+            skipped = payload["failures"]
+            assert skipped and skipped[-1]["error_type"] == "JobCancelled"
+            assert skipped[-1]["skipped"] is True
+        finally:
+            release.set()
+            SCENARIO_REGISTRY.pop(name, None)
+
+    def test_cancel_while_queued_never_runs(self):
+        config = quiet_config(queue={"workers": 1, "capacity": 8})
+        blocker = threading.Event()
+        started = threading.Event()
+
+        def block(scale, seed):
+            started.set()
+            blocker.wait(timeout=30)
+            from repro.scenarios.result import ExperimentResult
+
+            result = ExperimentResult(exhibit="x", title="x", columns=["v"])
+            result.add_row(v=0)
+            return result
+
+        def plan_fn(scenario, scale, seed):
+            return [AnalysisStep(name="block", fn=block)]
+
+        name = "service-queue-blocker"
+        register(
+            Scenario.builder(name).kind("analysis").build(),
+            plan_fn=plan_fn,
+            replace=True,
+        )
+        try:
+            with serve_background(config) as (_, url):
+                client = ServiceClient(url)
+                first = client.submit_scenario(name)
+                assert started.wait(timeout=30)
+                second = client.submit_scenario("fig01")
+                cancelled = client.cancel(second["id"])
+                assert cancelled["status"] == JobStates.CANCELLED
+                blocker.set()
+                client.wait(first["id"], timeout_s=60)
+                assert client.job(second["id"])["status"] == JobStates.CANCELLED
+        finally:
+            blocker.set()
+            SCENARIO_REGISTRY.pop(name, None)
+
+    def test_failing_job_reports_structured_error(self, service):
+        _, client = service
+
+        def boom(scale, seed):
+            raise RuntimeError("service job blew up")
+
+        def plan_fn(scenario, scale, seed):
+            return [AnalysisStep(name="boom", fn=boom)]
+
+        name = "service-failing-job"
+        register(
+            Scenario.builder(name).kind("analysis").build(),
+            plan_fn=plan_fn,
+            replace=True,
+        )
+        try:
+            job = client.submit_scenario(name)
+            finished = client.wait(job["id"], timeout_s=60)
+            # the step failure is contained: the job is done-with-
+            # failures, not dead, and the server keeps serving.
+            assert finished["status"] == JobStates.DONE
+            payload = client.result(job["id"])
+            assert payload["failures"][0]["error_type"] == "RuntimeError"
+            assert "blew up" in payload["failures"][0]["error"]
+            assert client.health()["status"] == "ok"
+        finally:
+            SCENARIO_REGISTRY.pop(name, None)
+
+
+class TestBackpressure:
+    def test_rate_limit_answers_429(self):
+        config = quiet_config(
+            middleware=[{"kind": "rate_limit", "capacity": 3, "refill_per_s": 0.0}]
+        )
+        with serve_background(config) as (_, url):
+            client = ServiceClient(url, tenant="burst")
+            statuses = []
+            for _ in range(5):
+                try:
+                    client.health()
+                    statuses.append(200)
+                except ServiceError as error:
+                    statuses.append(error.status)
+                    assert error.error_type == "RateLimited"
+            assert statuses == [200, 200, 200, 429, 429]
+
+    def test_quota_blocks_fifth_in_flight_job(self):
+        config = quiet_config(
+            queue={"workers": 1, "capacity": 16},
+            middleware=[{"kind": "quota", "max_in_flight": 4}],
+        )
+        blocker = threading.Event()
+
+        def block(scale, seed):
+            blocker.wait(timeout=30)
+            from repro.scenarios.result import ExperimentResult
+
+            result = ExperimentResult(exhibit="x", title="x", columns=["v"])
+            result.add_row(v=0)
+            return result
+
+        def plan_fn(scenario, scale, seed):
+            return [AnalysisStep(name="block", fn=block)]
+
+        name = "service-quota-blocker"
+        register(
+            Scenario.builder(name).kind("analysis").build(),
+            plan_fn=plan_fn,
+            replace=True,
+        )
+        try:
+            with serve_background(config) as (_, url):
+                client = ServiceClient(url, tenant="greedy")
+                jobs = [client.submit_scenario(name) for _ in range(4)]
+                with pytest.raises(ServiceError) as excinfo:
+                    client.submit_scenario(name)
+                assert excinfo.value.status == 429
+                assert excinfo.value.error_type == "QuotaExceeded"
+                # another tenant still gets in
+                other = ServiceClient(url, tenant="patient")
+                fifth = other.submit_scenario(name)
+                blocker.set()
+                for job in jobs + [fifth]:
+                    client.wait(job["id"], timeout_s=60)
+        finally:
+            blocker.set()
+            SCENARIO_REGISTRY.pop(name, None)
+
+    def test_full_queue_answers_503(self):
+        config = quiet_config(queue={"workers": 1, "capacity": 1})
+        blocker = threading.Event()
+        started = threading.Event()
+
+        def block(scale, seed):
+            started.set()
+            blocker.wait(timeout=30)
+            from repro.scenarios.result import ExperimentResult
+
+            result = ExperimentResult(exhibit="x", title="x", columns=["v"])
+            result.add_row(v=0)
+            return result
+
+        def plan_fn(scenario, scale, seed):
+            return [AnalysisStep(name="block", fn=block)]
+
+        name = "service-capacity-blocker"
+        register(
+            Scenario.builder(name).kind("analysis").build(),
+            plan_fn=plan_fn,
+            replace=True,
+        )
+        try:
+            with serve_background(config) as (_, url):
+                client = ServiceClient(url)
+                running = client.submit_scenario(name)
+                assert started.wait(timeout=30)
+                queued = client.submit_scenario("fig01")  # fills capacity 1
+                with pytest.raises(ServiceError) as excinfo:
+                    client.submit_scenario("fig01")
+                assert excinfo.value.status == 503
+                assert excinfo.value.error_type == "JobQueueFull"
+                blocker.set()
+                client.wait(running["id"], timeout_s=60)
+                client.wait(queued["id"], timeout_s=60)
+        finally:
+            blocker.set()
+            SCENARIO_REGISTRY.pop(name, None)
+
+
+class TestSweepJobs:
+    def test_sweep_submission_end_to_end(self, service):
+        _, client = service
+        job = client.submit_sweep("cluster-size", scale=0.3)
+        assert job["kind"] == "sweep"
+        client.wait(job["id"], timeout_s=600)
+        payload = client.result(job["id"])
+        assert payload["status"] == JobStates.DONE
+        variants = payload["result"]["variants"]
+        assert [v["name"] for v in variants] == [
+            "fig09[cluster.nodes=2]",
+            "fig09[cluster.nodes=4]",
+            "fig09[cluster.nodes=8]",
+        ]
+        assert all(v["ok"] for v in variants)
+
+    def test_unknown_sweep_is_404(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_sweep("nope")
+        assert excinfo.value.status == 404
+
+
+class TestServerLifecycle:
+    def test_request_id_and_timing_headers_round_trip(self, service):
+        # raw urllib to look at headers, not just the envelope
+        import urllib.request
+
+        server, _ = service
+        with urllib.request.urlopen(f"{server.url}/v1/health", timeout=10) as response:
+            assert response.headers["X-Request-Id"].startswith("req-")
+            assert float(response.headers["X-Elapsed-Ms"]) >= 0.0
+
+    def test_wait_times_out(self, service):
+        _, client = service
+        job = client.submit_scenario("fig08", scale=0.3)
+        with pytest.raises(TimeoutError):
+            client.wait(job["id"], timeout_s=0.0, poll_s=0.01)
+        client.wait(job["id"], timeout_s=300)
+
+    def test_elapsed_is_tracked(self, service):
+        _, client = service
+        job = client.submit_scenario("fig01", scale=0.3)
+        client.wait(job["id"], timeout_s=300)
+        status = client.job(job["id"])
+        assert status["elapsed_s"] is not None and status["elapsed_s"] >= 0.0
+        assert status["finished_at"] >= status["started_at"] >= status["submitted_at"]
+        assert time.time() >= status["submitted_at"]
