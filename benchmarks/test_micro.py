@@ -14,7 +14,9 @@ from repro.scenarios import (
     Scenario,
     ScenarioRunner,
     get_definition,
+    get_sweep,
     pipetune,
+    run_sweep,
     tune_v1,
     tune_v2,
 )
@@ -314,3 +316,30 @@ def test_hostile_world(benchmark):
     )
     assert [row["system"] for row in result.rows] == ["tune-v1", "tune-v2"]
     assert sum(row["fault_events"] for row in result.rows) > 0
+
+
+# ---------------------------------------------------------------------------
+# Outcome cache (incremental sweeps)
+# ---------------------------------------------------------------------------
+
+
+def test_sweep_warm_cache(benchmark, tmp_path):
+    """Warm re-run of the cluster-size sweep through the outcome
+    cache: every chain is a hit, so the measured time is pure cache
+    overhead (key derivation + entry reads + merge), not simulation.
+    The cold seeding run happens once, outside the timer."""
+    cache_dir = str(tmp_path / "outcomes")
+    sweep = get_sweep("cluster-size")
+    cold = run_sweep(sweep, scale=0.3, seed=0, cache_dir=cache_dir)
+    assert cold.cache_hits == 0 and cold.cache_misses > 0
+
+    warm = benchmark.pedantic(
+        lambda: run_sweep(sweep, scale=0.3, seed=0, cache_dir=cache_dir),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["chains"] = warm.cache_hits
+    assert warm.cache_misses == 0 and warm.cache_hits == cold.cache_misses
+    assert [o.result.format_table() for o in warm.outcomes] == [
+        o.result.format_table() for o in cold.outcomes
+    ]

@@ -76,26 +76,47 @@ def main() -> None:
         default=20,
         help="max unified-diff lines to print per mismatch (default 20)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="run through the content-addressed outcome cache rooted at "
+        "DIR (hits are byte-identical to recomputes; per-exhibit "
+        "hit/miss counters are printed)",
+    )
+    parser.add_argument(
+        "--expect-cache",
+        choices=("cold", "warm"),
+        help="with --cache-dir: assert the run was fully cold "
+        "(0 hits, >0 misses) or fully warm (>0 hits, 0 misses); "
+        "exit 1 otherwise (CI's cache job)",
+    )
     args = parser.parse_args()
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.expect_cache and not args.cache_dir:
+        parser.error("--expect-cache requires --cache-dir")
     names = golden.resolve_names(args.only)
     wall_started = time.perf_counter()
 
     if args.update:
-        for name, content, elapsed in golden.render_many(names, jobs=args.jobs):
+        for name, content, elapsed in golden.render_many(
+            names, jobs=args.jobs, cache_dir=args.cache_dir
+        ):
             path = golden.write_trace(name, content)
             print(f"{name:8s} written {path} ({elapsed:.1f}s)")
         wall = time.perf_counter() - wall_started
         print(f"rewrote {len(names)} exhibits in {wall:.1f}s wall (jobs={args.jobs})")
         return
 
-    diffs = golden.check(names, jobs=args.jobs)
+    diffs = golden.check(names, jobs=args.jobs, cache_dir=args.cache_dir)
     wall = time.perf_counter() - wall_started
     failed = []
     for name in names:
         diff = diffs[name]
-        print(f"{name:8s} {diff.status:8s} ({diff.elapsed_s:.1f}s)")
+        cache_note = ""
+        if diff.cache_hits is not None:
+            cache_note = f" cache {diff.cache_hits} hit / {diff.cache_misses} miss"
+        print(f"{name:8s} {diff.status:8s} ({diff.elapsed_s:.1f}s){cache_note}")
         if diff.status == "ok":
             continue
         failed.append(name)
@@ -124,6 +145,20 @@ def main() -> None:
             "if the stream change is intentional, re-baseline with "
             "--update and commit the diff"
         )
+    if args.cache_dir:
+        hits = sum(diffs[name].cache_hits or 0 for name in names)
+        misses = sum(diffs[name].cache_misses or 0 for name in names)
+        print(f"outcome cache: {hits} hits, {misses} misses")
+        if args.expect_cache == "cold" and (hits > 0 or misses == 0):
+            raise SystemExit(
+                f"expected a cold cache but recorded {hits} hits "
+                f"({misses} misses)"
+            )
+        if args.expect_cache == "warm" and (misses > 0 or hits == 0):
+            raise SystemExit(
+                f"expected a warm cache but recorded {misses} misses "
+                f"({hits} hits)"
+            )
     print(
         f"all {len(names)} exhibits byte-identical to their golden traces "
         f"({wall:.1f}s wall, jobs={args.jobs})"

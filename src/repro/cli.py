@@ -50,9 +50,15 @@ from .experiments import EXHIBIT_RUNS, EXHIBITS, golden
 from .scenarios import (
     SCENARIO_REGISTRY,
     SWEEP_REGISTRY,
+    CachingBackend,
+    NoSweepRuns,
+    OutcomeCache,
     ScenarioError,
     StepExecutionError,
     SweepError,
+    SweepRunStore,
+    backend_for,
+    compare_sweep_runs,
     execute_job,
     get_definition,
     get_sweep,
@@ -61,6 +67,7 @@ from .scenarios import (
     make_pipetune_spec,
     make_v1_spec,
     make_v2_spec,
+    resolve_cache_dir,
     run_sweep,
 )
 from .scenarios.backends import ContainedSerialBackend
@@ -96,6 +103,20 @@ def _fail(args, error_type: str, message: str, exit_code: int = 2) -> int:
         return _emit_error(error_type, message, exit_code=exit_code)
     print(message, file=sys.stderr)
     return exit_code
+
+
+def _cache_opts(args):
+    """Resolve --cache/--no-cache/--cache-dir -> (enabled, dir|None).
+
+    A bare ``--cache-dir`` implies ``--cache`` (unless ``--no-cache``
+    explicitly wins); when caching is on the directory resolves to the
+    default root ($REPRO_CACHE_DIR or ~/.cache/repro/outcomes), and it
+    stays None when caching is off.
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    flag = getattr(args, "cache", None)
+    enabled = bool(flag) or (flag is None and cache_dir is not None)
+    return enabled, (resolve_cache_dir(cache_dir) if enabled else None)
 
 
 # ---------------------------------------------------------------------------
@@ -330,8 +351,14 @@ def _cmd_scenario_run(args) -> int:
         definition = get_definition(args.name)
     except KeyError as error:
         return _fail(args, "UnknownScenario", str(error.args[0]))
+    cache_enabled, cache_dir = _cache_opts(args)
     if args.check:
-        return _scenario_check(args.name, workers=args.workers, as_json=args.json)
+        return _scenario_check(
+            args.name,
+            workers=args.workers,
+            as_json=args.json,
+            cache_dir=cache_dir,
+        )
     canonical = EXHIBIT_RUNS.get(args.name)
     scale, seed = args.scale, args.seed
     if scale is None:
@@ -370,6 +397,12 @@ def _cmd_scenario_run(args) -> int:
             if args.json and (args.workers is None or args.workers <= 1)
             else None
         )
+        if cache_enabled:
+            # memoize chain outcomes around whichever backend the run
+            # would have used; the bytes are identical, warm or cold.
+            backend = CachingBackend(
+                backend or backend_for(args.workers), OutcomeCache(cache_dir)
+            )
         outcomes = runner.execute(plan, workers=args.workers, backend=backend)
         result = runner.collect(plan, outcomes)
     except ScenarioError as error:
@@ -381,6 +414,7 @@ def _cmd_scenario_run(args) -> int:
         return _emit_error("StepExecutionError", str(error), exit_code=1)
     elapsed = time.time() - started
     failures = [failure_view(o) for o in outcomes if is_failure(o)]
+    cache_stats = backend.stats if cache_enabled else None
     if args.json:
         data = {
             "scenario": args.name,
@@ -389,6 +423,11 @@ def _cmd_scenario_run(args) -> int:
             "seed": seed,
             "workers": args.workers or 1,
             "elapsed_s": round(elapsed, 3),
+            "cache": (
+                None
+                if cache_stats is None
+                else {"dir": cache_dir, **cache_stats.as_dict()}
+            ),
             "failures": failures,
             "result": result.as_dict(),
         }
@@ -408,6 +447,11 @@ def _cmd_scenario_run(args) -> int:
     else:
         print(result.format_table())
         print(f"[{args.name}: {elapsed:.1f}s]")
+        if cache_stats is not None:
+            print(
+                f"[cache: {cache_stats.hits} hit(s), "
+                f"{cache_stats.misses} miss(es) in {cache_dir}]"
+            )
         if failures:
             print(f"{len(failures)} step(s) failed:", file=sys.stderr)
             for failure in failures:
@@ -424,7 +468,10 @@ def _cmd_scenario_run(args) -> int:
 
 
 def _scenario_check(
-    name: str, workers: Optional[int] = None, as_json: bool = False
+    name: str,
+    workers: Optional[int] = None,
+    as_json: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> int:
     """Re-run a committed exhibit scenario at its canonical parameters
     and byte-diff the rendered table against the golden trace."""
@@ -437,9 +484,15 @@ def _scenario_check(
             return _emit_error("NoGoldenTrace", message)
         print(message, file=sys.stderr)
         return 2
-    diff = golden.check([name], workers=workers)[name]
+    diff = golden.check([name], workers=workers, cache_dir=cache_dir)[name]
     if as_json:
         data = {"scenario": name, "status": diff.status}
+        if diff.cache_hits is not None:
+            data["cache"] = {
+                "dir": cache_dir,
+                "hits": diff.cache_hits,
+                "misses": diff.cache_misses,
+            }
         if diff.status == "ok":
             return _emit_ok(data)
         return _emit_error(
@@ -449,6 +502,11 @@ def _scenario_check(
             exit_code=1,
         )
     print(f"{name}: {diff.status}")
+    if diff.cache_hits is not None:
+        print(
+            f"[cache: {diff.cache_hits} hit(s), {diff.cache_misses} "
+            f"miss(es) in {cache_dir}]"
+        )
     if diff.status == "ok":
         return 0
     if diff.committed_exists:
@@ -488,18 +546,31 @@ def _cmd_sweep_run(args) -> int:
         sweep = get_sweep(args.name)
     except KeyError as error:
         return _fail(args, "UnknownSweep", str(error.args[0]))
+    cache_enabled, cache_dir = _cache_opts(args)
     started = time.time()
     try:
         outcome = run_sweep(
-            sweep, scale=args.scale, seed=args.seed, workers=args.workers
+            sweep,
+            scale=args.scale,
+            seed=args.seed,
+            workers=args.workers,
+            cache_dir=cache_dir,
         )
     except SweepError as error:
         return _fail(args, "SweepError", str(error))
     elapsed = time.time() - started
     failed = len(outcome.failed)
+    run_id = None
+    if cache_enabled:
+        # persist the run's variant tables next to the outcome cache so
+        # `repro sweep compare` can diff this run against the next one.
+        run_id = SweepRunStore(cache_dir).save(outcome)
     if args.json:
         payload = outcome.as_dict()
         payload["elapsed_s"] = round(elapsed, 3)
+        if cache_enabled:
+            payload["cache_dir"] = cache_dir
+            payload["run_id"] = run_id
         if failed:
             _print_envelope(
                 error_envelope(
@@ -526,7 +597,51 @@ def _cmd_sweep_run(args) -> int:
         f"[{sweep.name}: {summary}, {elapsed:.1f}s "
         f"wall, workers={outcome.workers}]"
     )
+    if cache_enabled:
+        print(
+            f"[cache: {outcome.cache_hits} hit(s), "
+            f"{outcome.cache_misses} miss(es); run {run_id} recorded "
+            f"in {cache_dir}]"
+        )
     return 1 if failed else 0
+
+
+def _cmd_sweep_compare(args) -> int:
+    """Diff two persisted runs of one sweep, field by field."""
+    cache_dir = resolve_cache_dir(args.cache_dir)
+    run_a, run_b = (args.runs or (None, None))
+    try:
+        comparison = compare_sweep_runs(
+            SweepRunStore(cache_dir),
+            args.name,
+            run_a=run_a,
+            run_b=run_b,
+            metric=args.metric,
+        )
+    except NoSweepRuns as error:
+        return _fail(args, "NoSweepRuns", str(error))
+    except KeyError as error:
+        return _fail(args, "UnknownRun", str(error.args[0]))
+    if args.json:
+        return _emit_ok(comparison)
+    print(
+        f"sweep {comparison['sweep']}: run {comparison['run_a']} (a) "
+        f"vs run {comparison['run_b']} (b)"
+    )
+    for row in comparison["rows"]:
+        marker = "=" if row["identical"] else "!"
+        delta = "n/a" if row["delta"] is None else f"{row['delta']:+.6g}"
+        print(
+            f"  {marker} {row['variant']:<40s} {row['field']:<24s} "
+            f"a={row['mean_a']!r} b={row['mean_b']!r} delta={delta}"
+        )
+    for name in comparison["only_in_a"]:
+        print(f"  < {name} (only in run a)")
+    for name in comparison["only_in_b"]:
+        print(f"  > {name} (only in run b)")
+    verdict = "identical" if comparison["identical"] else "differ"
+    print(f"[{len(comparison['rows'])} field(s) compared: {verdict}]")
+    return 0 if comparison["identical"] else 1
 
 
 # ---------------------------------------------------------------------------
@@ -598,8 +713,14 @@ def _cmd_client(args) -> int:
             return _client_output(args, client.jobs())
         if args.action == "submit":
             submit = client.submit_sweep if args.sweep else client.submit_scenario
+            cache_enabled, cache_dir = _cache_opts(args)
             job = submit(
-                args.name, scale=args.scale, seed=args.seed, workers=args.workers
+                args.name,
+                scale=args.scale,
+                seed=args.seed,
+                workers=args.workers,
+                cache=cache_enabled,
+                cache_dir=cache_dir,
             )
             if not args.wait:
                 return _client_output(args, job)
@@ -625,6 +746,24 @@ def _cmd_client(args) -> int:
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared --cache/--no-cache/--cache-dir trio."""
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="memoize chain outcomes in the content-addressed cache "
+        "(hits are byte-identical to recomputes; --cache-dir alone "
+        "implies --cache)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/outcomes)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -729,6 +868,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute the plan's chains on a process pool of N workers "
         "(default: serial; results are identical for any N)",
     )
+    _add_cache_arguments(s_run)
     s_run.set_defaults(func=_cmd_scenario_run)
 
     sweep = sub.add_parser(
@@ -752,7 +892,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="run up to N variants concurrently on a process pool "
         "(default: serial; results are identical for any N)",
     )
+    _add_cache_arguments(w_run)
     w_run.set_defaults(func=_cmd_sweep_run)
+
+    w_cmp = sweep_sub.add_parser(
+        "compare",
+        help="diff two cached runs of one sweep field-by-field "
+        "(exit 0 when identical, 1 when they differ)",
+    )
+    w_cmp.add_argument("name")
+    w_cmp.add_argument(
+        "--runs",
+        nargs=2,
+        metavar=("RUN_A", "RUN_B"),
+        default=None,
+        help="two run ids (default: the last two recorded runs)",
+    )
+    w_cmp.add_argument(
+        "--metric", default=None, help="restrict the diff to one field"
+    )
+    w_cmp.add_argument("--json", action="store_true", help="structured output")
+    w_cmp.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root the runs were recorded under (default: "
+        "$REPRO_CACHE_DIR or ~/.cache/repro/outcomes)",
+    )
+    w_cmp.set_defaults(func=_cmd_sweep_compare)
 
     serve = sub.add_parser(
         "serve", help="run the scenario service daemon (HTTP/JSON)"
@@ -815,6 +981,7 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument(
         "--sweep", action="store_true", help="submit a registered sweep instead"
     )
+    _add_cache_arguments(client)
     client.add_argument(
         "--wait",
         action="store_true",

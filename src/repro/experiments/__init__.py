@@ -59,20 +59,30 @@ class ExhibitRun:
     def module(self):
         return EXHIBITS[self.name]
 
-    def run(self, workers: Optional[int] = None) -> ExperimentResult:
+    def run(
+        self, workers: Optional[int] = None, backend=None
+    ) -> ExperimentResult:
         """Regenerate at the canonical parameters. ``workers > 1``
         executes the underlying scenario on a process pool — the
         rendered bytes are identical for any worker count.
 
         A name without a paper-exhibit module resolves through the
         scenario registry instead — the hostile-world pack commits its
-        goldens through the same manifest as the paper figures."""
-        if self.name in EXHIBITS:
+        goldens through the same manifest as the paper figures. When a
+        ``backend`` override is given (e.g. a caching backend), every
+        name routes through the registry: the paper-exhibit shims are
+        thin wrappers over the same registered scenarios, so the bytes
+        match (tests/test_scenarios_parallel.py proves it)."""
+        if backend is None and self.name in EXHIBITS:
             return self.module.run(scale=self.scale, seed=self.seed, workers=workers)
         from ..scenarios import run_scenario  # late: scenarios import us
 
         return run_scenario(
-            self.name, scale=self.scale, seed=self.seed, workers=workers
+            self.name,
+            scale=self.scale,
+            seed=self.seed,
+            workers=workers,
+            backend=backend,
         )
 
 

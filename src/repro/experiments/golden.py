@@ -59,13 +59,37 @@ def write_trace(name: str, content: str, results_dir: Optional[str] = None) -> s
     return path
 
 
-def render(name: str, workers: Optional[int] = None) -> str:
+def _render_with_stats(
+    name: str, workers: Optional[int] = None, cache_dir: Optional[str] = None
+):
+    """Render one exhibit -> (bytes, CacheStats-or-None).
+
+    With a ``cache_dir`` the run goes through the content-addressed
+    outcome cache (:mod:`repro.scenarios.cache`); the determinism
+    contract extends to hits — recalled bytes == recomputed bytes."""
+    if cache_dir is None:
+        return render_result(EXHIBIT_RUNS[name].run(workers=workers)), None
+    from ..scenarios.cache import cached_backend  # late: heavy import
+
+    backend = cached_backend(cache_dir=cache_dir, workers=workers)
+    result = EXHIBIT_RUNS[name].run(backend=backend)
+    return render_result(result), backend.stats
+
+
+def render(
+    name: str,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> str:
     """Regenerate one exhibit at its canonical (scale, seed) -> bytes.
 
     ``workers > 1`` runs the exhibit's scenario on a process-pool
     backend; the determinism contract guarantees identical bytes for
-    any worker count (tests/test_scenarios_parallel.py proves it)."""
-    return render_result(EXHIBIT_RUNS[name].run(workers=workers))
+    any worker count (tests/test_scenarios_parallel.py proves it).
+    ``cache_dir`` additionally memoizes chain outcomes on disk — same
+    bytes, cold or warm."""
+    content, _ = _render_with_stats(name, workers=workers, cache_dir=cache_dir)
+    return content
 
 
 def _resolve_parallelism(
@@ -107,6 +131,9 @@ class ExhibitDiff:
     regenerated: str
     #: regeneration time of this exhibit (worker-side when pooled).
     elapsed_s: float = 0.0
+    #: outcome-cache counters when the check ran through a cache dir.
+    cache_hits: Optional[int] = None
+    cache_misses: Optional[int] = None
 
     @property
     def status(self) -> str:
@@ -117,9 +144,11 @@ class ExhibitDiff:
 
 def _check_task(payload) -> ExhibitDiff:
     """Regenerate one exhibit and byte-diff it (picklable pool task)."""
-    name, workers = payload
+    name, workers, cache_dir = payload
     started = time.perf_counter()
-    regenerated = render(name, workers=workers)
+    regenerated, stats = _render_with_stats(
+        name, workers=workers, cache_dir=cache_dir
+    )
     elapsed = time.perf_counter() - started
     path = committed_path(name)
     exists = os.path.exists(path)
@@ -133,38 +162,45 @@ def _check_task(payload) -> ExhibitDiff:
         committed_exists=exists,
         regenerated=regenerated,
         elapsed_s=elapsed,
+        cache_hits=stats.hits if stats is not None else None,
+        cache_misses=stats.misses if stats is not None else None,
     )
 
 
-def _map_exhibits(task, names: List[str], workers, jobs) -> List:
+def _map_exhibits(task, names: List[str], workers, jobs, cache_dir=None) -> List:
     # Late import: repro.scenarios imports repro.experiments pieces via
     # the shims' harness re-export; keep golden importable standalone.
     from ..scenarios.backends import map_tasks
 
-    return map_tasks(task, [(name, workers) for name in names], workers=jobs)
+    return map_tasks(
+        task, [(name, workers, cache_dir) for name in names], workers=jobs
+    )
 
 
 def check(
     names: Optional[Iterable[str]] = None,
     workers: Optional[int] = None,
     jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, ExhibitDiff]:
     """Regenerate exhibits and byte-diff each against the committed file.
 
     ``jobs > 1`` regenerates exhibits concurrently on a process pool
     (one exhibit per task); ``workers > 1`` instead parallelises
-    within each exhibit. Results are identical either way.
+    within each exhibit. Results are identical either way, and a
+    ``cache_dir`` run reports per-exhibit hit/miss counters on the
+    diffs without changing a byte.
     """
     workers, jobs = _resolve_parallelism(workers, jobs)
     resolved = resolve_names(names)
-    diffs = _map_exhibits(_check_task, resolved, workers, jobs)
+    diffs = _map_exhibits(_check_task, resolved, workers, jobs, cache_dir)
     return {diff.name: diff for diff in diffs}
 
 
 def _render_task(payload) -> Tuple[str, str, float]:
-    name, workers = payload
+    name, workers, cache_dir = payload
     started = time.perf_counter()
-    content = render(name, workers=workers)
+    content = render(name, workers=workers, cache_dir=cache_dir)
     return name, content, time.perf_counter() - started
 
 
@@ -172,6 +208,7 @@ def render_many(
     names: Optional[Iterable[str]] = None,
     workers: Optional[int] = None,
     jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> List[Tuple[str, str, float]]:
     """Render exhibits -> [(name, bytes, render seconds)], in order.
 
@@ -181,7 +218,9 @@ def render_many(
     pool workers are daemonic). Elapsed times are worker-side.
     """
     workers, jobs = _resolve_parallelism(workers, jobs)
-    return _map_exhibits(_render_task, resolve_names(names), workers, jobs)
+    return _map_exhibits(
+        _render_task, resolve_names(names), workers, jobs, cache_dir
+    )
 
 
 def regenerate(
@@ -189,6 +228,7 @@ def regenerate(
     results_dir: Optional[str] = None,
     workers: Optional[int] = None,
     jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, str]:
     """Regenerate exhibits onto disk; returns {name: path written}.
 
@@ -197,5 +237,7 @@ def regenerate(
     """
     return {
         name: write_trace(name, content, results_dir)
-        for name, content, _ in render_many(names, workers=workers, jobs=jobs)
+        for name, content, _ in render_many(
+            names, workers=workers, jobs=jobs, cache_dir=cache_dir
+        )
     }

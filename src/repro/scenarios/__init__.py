@@ -69,6 +69,19 @@ from .backends import (
     backend_for,
     map_tasks,
 )
+from .cache import (
+    CODE_VERSION,
+    CacheStats,
+    CachingBackend,
+    NoSweepRuns,
+    OutcomeCache,
+    SweepRunStore,
+    cached_backend,
+    chain_key,
+    compare_sweep_runs,
+    record_sweep,
+    resolve_cache_dir,
+)
 from .containment import ChainFailure, StepExecutionError, is_failure
 from .merge import merge_outcomes
 from .planner import ExecutionChain, chain_policy, partition
@@ -124,6 +137,9 @@ __all__ = [
     "ALGORITHM_BUILDERS",
     "AnalysisStep",
     "AlgorithmSpec",
+    "CODE_VERSION",
+    "CacheStats",
+    "CachingBackend",
     "ChainExecutor",
     "ChainFailure",
     "ClusterSpec",
@@ -135,7 +151,9 @@ __all__ = [
     "HYPERBAND_ETA",
     "HYPERBAND_MAX_EPOCHS",
     "JobStep",
+    "NoSweepRuns",
     "OBJECTIVES",
+    "OutcomeCache",
     "PAPER_DISTRIBUTED_CLUSTER",
     "PAPER_SINGLE_NODE",
     "ProcessPoolBackend",
@@ -153,6 +171,7 @@ __all__ = [
     "SweepAxis",
     "SweepError",
     "SweepResult",
+    "SweepRunStore",
     "SweepVariant",
     "SystemPolicySpec",
     "TRIAL_INIT_S",
@@ -164,8 +183,11 @@ __all__ = [
     "apply_space_overrides",
     "backend_for",
     "build_job_spec",
+    "cached_backend",
+    "chain_key",
     "chain_policy",
     "collect_problems",
+    "compare_sweep_runs",
     "execute_job",
     "failure_view",
     "fixed_trial",
@@ -187,8 +209,10 @@ __all__ = [
     "paper",
     "partition",
     "pipetune",
+    "record_sweep",
     "register",
     "register_sweep",
+    "resolve_cache_dir",
     "run_scenario",
     "run_sweep",
     "scenario_describe_payload",

@@ -38,6 +38,7 @@ affected chain is reported as failed — all other chains still complete.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent import futures
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -311,6 +312,22 @@ class SerialBackend:
                 ) from error
         return outcomes, executor.sessions
 
+    def run_chains(
+        self, plan: ScenarioPlan, chains: Sequence[ExecutionChain]
+    ) -> Tuple[List[List], Dict[SystemPolicySpec, object]]:
+        """Run a chain subset in order; errors escape with context.
+
+        The chain-granular entry point the caching layer drives: one
+        outcome list per requested chain, sessions shared across the
+        given chains exactly as :meth:`run` shares them (each
+        session-sharing policy's steps live inside a single chain by
+        construction, so the subset cannot split a session).
+        """
+        executor = ChainExecutor.for_plan(plan)
+        return [
+            executor.run_chain(chain, contain=False) for chain in chains
+        ], executor.sessions
+
     def __repr__(self) -> str:
         return "SerialBackend()"
 
@@ -336,13 +353,19 @@ class ContainedSerialBackend:
         self.stop = stop
 
     def run(self, plan: ScenarioPlan) -> Tuple[List, Dict[SystemPolicySpec, object]]:
-        executor = ChainExecutor.for_plan(plan)
         chains = partition(plan)
-        per_chain = [
+        per_chain, sessions = self.run_chains(plan, chains)
+        return merge_outcomes(plan, chains, per_chain), sessions
+
+    def run_chains(
+        self, plan: ScenarioPlan, chains: Sequence[ExecutionChain]
+    ) -> Tuple[List[List], Dict[SystemPolicySpec, object]]:
+        """Run a chain subset with containment + the stop hook."""
+        executor = ChainExecutor.for_plan(plan)
+        return [
             executor.run_chain(chain, contain=True, stop=self.stop)
             for chain in chains
-        ]
-        return merge_outcomes(plan, chains, per_chain), executor.sessions
+        ], executor.sessions
 
     def __repr__(self) -> str:
         return "ContainedSerialBackend()"
@@ -391,6 +414,25 @@ def harness_failures(
     ]
 
 
+def cancelled_failures(
+    plan: ScenarioPlan, chain: ExecutionChain
+) -> List[ChainFailure]:
+    """Skipped ``JobCancelled`` outcomes for a chain that never started
+    — the pooled analogue of the serial executor's between-step skip."""
+    return [
+        ChainFailure(
+            scenario=plan.scenario.name,
+            chain_index=chain.index,
+            step_index=position,
+            step_label=step.describe(),
+            error_type="JobCancelled",
+            error="job cancelled before this chain started",
+            skipped=True,
+        )
+        for position, step in zip(chain.indices, chain.steps)
+    ]
+
+
 class ProcessPoolBackend:
     """Chains fanned out over a process pool, with fault tolerance.
 
@@ -414,7 +456,21 @@ class ProcessPoolBackend:
     * after ``chain_retries`` isolation rounds, whatever still fails
       is reported as :class:`ChainFailure` outcomes in plan order —
       ``run`` returns results for every surviving step either way.
+
+    ``stop`` adds cooperative cancellation at chain granularity (the
+    service's cancel endpoint for pooled jobs): the shared round then
+    submits at most ``workers`` chains at a time and polls the hook
+    between completions, so once it returns True every chain not yet
+    handed to a worker is cancelled into skipped ``JobCancelled``
+    outcomes while running chains finish and keep their results —
+    mirroring the serial executor's between-step semantics one level
+    up. (Bulk submission cannot honour that promise: the pool stages
+    queued items beyond the running set where ``Future.cancel()``
+    silently fails.)
     """
+
+    #: seconds between stop-hook polls while futures are in flight.
+    _STOP_POLL_S = 0.05
 
     def __init__(
         self,
@@ -422,6 +478,7 @@ class ProcessPoolBackend:
         start_method: Optional[str] = None,
         chain_timeout_s: Optional[float] = None,
         chain_retries: int = 1,
+        stop: Optional[Callable[[], bool]] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -433,23 +490,107 @@ class ProcessPoolBackend:
         self.start_method = start_method or default_start_method()
         self.chain_timeout_s = chain_timeout_s
         self.chain_retries = chain_retries
+        self.stop = stop
+
+    def _stopped(self) -> bool:
+        return self.stop is not None and self.stop()
 
     def run(self, plan: ScenarioPlan) -> Tuple[List, Dict[SystemPolicySpec, object]]:
         chains = partition(plan)
+        per_chain, sessions = self.run_chains(plan, chains)
+        return merge_outcomes(plan, chains, per_chain), sessions
+
+    def run_chains(
+        self, plan: ScenarioPlan, chains: Sequence[ExecutionChain]
+    ) -> Tuple[List[List], Dict[SystemPolicySpec, object]]:
+        """Fan a chain subset over the pool; sessions die with the
+        workers (empty dict back), exactly as in :meth:`run`."""
+        if self._stopped():
+            return [cancelled_failures(plan, chain) for chain in chains], {}
         results: Dict[int, List] = {}
         pending = self._shared_round(plan, chains, results)
-        for _ in range(self.chain_retries):
-            if not pending:
-                break
-            pending = self._isolated_round(
-                plan, [chain for chain, _, _ in pending], results
-            )
+        if not self._stopped():
+            for _ in range(self.chain_retries):
+                if not pending:
+                    break
+                pending = self._isolated_round(
+                    plan, [chain for chain, _, _ in pending], results
+                )
         for chain, error_type, reason in pending:
             results[chain.index] = harness_failures(plan, chain, error_type, reason)
-        per_chain = [results[chain.index] for chain in chains]
-        return merge_outcomes(plan, chains, per_chain), {}
+        return [results[chain.index] for chain in chains], {}
 
     # -- execution rounds ---------------------------------------------------
+    def _wait(self, all_futures) -> set:
+        """One bounded wait for the bulk round's futures (the
+        stop-less path; stop-aware rounds go through
+        :meth:`_throttled_round` instead)."""
+        finished, _ = futures.wait(set(all_futures), timeout=self.chain_timeout_s)
+        return finished
+
+    def _throttled_round(
+        self,
+        executor: futures.ProcessPoolExecutor,
+        plan: ScenarioPlan,
+        chains: Sequence[ExecutionChain],
+        processes: int,
+    ):
+        """Stop-aware submission: at most ``processes`` chains in
+        flight, topped up as futures finish, polling the stop hook in
+        between.
+
+        Bulk submission hands every chain to the pool upfront, and
+        ``ProcessPoolExecutor`` eagerly stages items beyond the
+        running set into its internal call queue, where
+        ``Future.cancel()`` silently fails — a cancel request could be
+        ignored wholesale. Throttling keeps unstarted chains on this
+        side of the pool, so a stop deterministically cancels every
+        chain not yet submitted while running chains finish and keep
+        their results.
+
+        Returns ``(future_of, done, halt)`` where ``halt`` explains an
+        early exit (``"stop"``, ``"timeout"`` or ``"broken"``); chains
+        absent from ``future_of`` were never submitted.
+        """
+        remaining = list(chains)
+        future_of: Dict[int, futures.Future] = {}
+        waiting: set = set()
+        done: set = set()
+        halt: Optional[str] = None
+        deadline = (
+            None
+            if self.chain_timeout_s is None
+            else time.monotonic() + self.chain_timeout_s
+        )
+        while remaining or waiting:
+            while halt is None and remaining and len(waiting) < processes:
+                chain = remaining[0]
+                try:
+                    future = executor.submit(_run_chain_task, _payload(plan, chain))
+                except Exception:
+                    # submit refuses once a worker death broke the pool
+                    halt = "broken"
+                    break
+                remaining.pop(0)
+                future_of[chain.index] = future
+                waiting.add(future)
+            if not waiting:
+                break
+            timeout = self._STOP_POLL_S
+            if deadline is not None:
+                slack = deadline - time.monotonic()
+                if slack <= 0:
+                    halt = halt or "timeout"
+                    break
+                timeout = min(timeout, slack)
+            finished, waiting = futures.wait(waiting, timeout=timeout)
+            done |= finished
+            if halt is None and self.stop():
+                halt = "stop"
+                for future in waiting:
+                    future.cancel()  # best effort on staged futures
+        return future_of, done, halt
+
     def _shared_round(
         self,
         plan: ScenarioPlan,
@@ -466,13 +607,46 @@ class ProcessPoolBackend:
             max_workers=processes, mp_context=context
         )
         try:
-            future_of = {
-                chain.index: executor.submit(_run_chain_task, _payload(plan, chain))
-                for chain in chains
-            }
-            done, _ = futures.wait(future_of.values(), timeout=self.chain_timeout_s)
+            if self.stop is None:
+                future_of = {
+                    chain.index: executor.submit(_run_chain_task, _payload(plan, chain))
+                    for chain in chains
+                }
+                done = self._wait(future_of.values())
+                halt = None
+            else:
+                future_of, done, halt = self._throttled_round(
+                    executor, plan, chains, processes
+                )
             for chain in chains:
-                future = future_of[chain.index]
+                future = future_of.get(chain.index)
+                if future is None:
+                    # never submitted: the throttled round halted first.
+                    if halt == "stop":
+                        results[chain.index] = cancelled_failures(plan, chain)
+                    elif halt == "broken":
+                        pending.append(
+                            (
+                                chain,
+                                "BrokenProcessPool",
+                                "a worker process died before this chain "
+                                "was submitted",
+                            )
+                        )
+                    else:
+                        pending.append(
+                            (
+                                chain,
+                                "TimeoutError",
+                                f"chain was not submitted within "
+                                f"{self.chain_timeout_s:g}s",
+                            )
+                        )
+                    continue
+                if future.cancelled():
+                    # the stop hook fired before this chain started.
+                    results[chain.index] = cancelled_failures(plan, chain)
+                    continue
                 if future not in done:
                     pending.append(
                         (

@@ -272,6 +272,9 @@ class VariantOutcome:
     elapsed_s: float
     error_type: Optional[str] = None
     error: Optional[str] = None
+    #: chain-cache counters; None when the run was uncached.
+    cache_hits: Optional[int] = None
+    cache_misses: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -285,6 +288,8 @@ class VariantOutcome:
             "ok": self.ok,
             "error_type": self.error_type,
             "error": self.error,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
             "result": self.result.as_dict() if self.result is not None else None,
         }
 
@@ -307,12 +312,30 @@ class SweepResult:
     def failed(self) -> Tuple[VariantOutcome, ...]:
         return tuple(outcome for outcome in self.outcomes if not outcome.ok)
 
+    @property
+    def cache_hits(self) -> Optional[int]:
+        """Total chain-cache hits across variants; None if uncached."""
+        counted = [o.cache_hits for o in self.outcomes if o.cache_hits is not None]
+        return sum(counted) if counted else None
+
+    @property
+    def cache_misses(self) -> Optional[int]:
+        counted = [
+            o.cache_misses for o in self.outcomes if o.cache_misses is not None
+        ]
+        return sum(counted) if counted else None
+
     def as_dict(self) -> Dict:
         return {
             "sweep": self.sweep.as_dict(),
             "scale": self.scale,
             "seed": self.seed,
             "workers": self.workers,
+            "cache": (
+                None
+                if self.cache_hits is None
+                else {"hits": self.cache_hits, "misses": self.cache_misses}
+            ),
             "variants": [outcome.as_dict() for outcome in self.outcomes],
         }
 
@@ -322,22 +345,36 @@ def _run_variant_task(payload):
     variant scenario, run it serially (pool workers are daemonic and
     cannot open nested pools), return the collected table.
 
+    With a ``cache_dir`` the variant runs through a
+    :class:`~repro.scenarios.cache.CachingBackend` over the serial
+    backend — chains already in the store are recalled instead of
+    executed (byte-identical by the cache contract) and the hit/miss
+    counts ride back with the result.
+
     Contained: a raising variant returns an error record instead of
     propagating across the process boundary, so one bad grid cell
     cannot take the other variants' results with it."""
-    base_name, variant_name, overrides, scale, seed = payload
+    base_name, variant_name, overrides, scale, seed, cache_dir = payload
     started = time.perf_counter()
+    hits = misses = None
     try:
         definition = get_definition(base_name)
         scenario = apply_overrides(definition.scenario, overrides, name=variant_name)
         runner = ScenarioRunner(
             scenario, collect=definition.collect, plan_fn=definition.plan_fn
         )
-        result = runner.run(scale=scale, seed=seed)
+        backend = None
+        if cache_dir is not None:
+            from .cache import cached_backend  # late import: cycle via backends
+
+            backend = cached_backend(cache_dir=cache_dir)
+        result = runner.run(scale=scale, seed=seed, backend=backend)
+        if backend is not None:
+            hits, misses = backend.stats.hits, backend.stats.misses
     except Exception as error:
         elapsed = time.perf_counter() - started
-        return variant_name, None, elapsed, type(error).__name__, str(error)
-    return variant_name, result, time.perf_counter() - started, None, None
+        return variant_name, None, elapsed, type(error).__name__, str(error), None, None
+    return variant_name, result, time.perf_counter() - started, None, None, hits, misses
 
 
 def run_sweep(
@@ -345,6 +382,7 @@ def run_sweep(
     scale: float = 1.0,
     seed: int = 0,
     workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> SweepResult:
     """Expand a sweep and execute every variant, pooled when asked.
 
@@ -353,6 +391,13 @@ def run_sweep(
     on its own specs and seeds. The sweep degrades gracefully: a
     variant that raises is reported failed (``SweepResult.failed``)
     while every surviving variant still returns its table.
+
+    ``cache_dir`` enables the content-addressed outcome cache
+    (:mod:`repro.scenarios.cache`): chains shared with earlier runs
+    are recalled from disk instead of re-executed — an incremental
+    re-run of an overlapping grid touches only the new cells — and
+    the per-variant hit/miss counts land on the outcomes. Cached or
+    not, the tables are byte-identical.
     """
     from .backends import map_tasks  # late import: backends imports runner
 
@@ -360,7 +405,7 @@ def run_sweep(
         sweep = get_sweep(sweep)
     sweep.validate()
     payloads = [
-        (sweep.scenario, variant_name, overrides, scale, seed)
+        (sweep.scenario, variant_name, overrides, scale, seed, cache_dir)
         for variant_name, overrides in sweep._grid()
     ]
     finished = map_tasks(_run_variant_task, payloads, workers=workers)
@@ -372,10 +417,18 @@ def run_sweep(
             elapsed_s=elapsed,
             error_type=error_type,
             error=error,
+            cache_hits=hits,
+            cache_misses=misses,
         )
-        for payload, (variant_name, result, elapsed, error_type, error) in zip(
-            payloads, finished
-        )
+        for payload, (
+            variant_name,
+            result,
+            elapsed,
+            error_type,
+            error,
+            hits,
+            misses,
+        ) in zip(payloads, finished)
     )
     return SweepResult(
         sweep=sweep, scale=scale, seed=seed, workers=workers or 1, outcomes=outcomes

@@ -40,7 +40,7 @@ from ..scenarios.views import (
 )
 from .config import ServerConfig
 from .envelope import error_envelope, ok_envelope
-from .jobs import JobManager, JobQueueFull, JobStates
+from .jobs import JobManager, JobNotCancellable, JobQueueFull, JobStates
 from .middleware import Request, Response
 
 
@@ -53,7 +53,7 @@ def _not_found(message: str) -> Response:
 
 
 #: body fields a run submission accepts (plus "scenario" on /v1/runs).
-_RUN_FIELDS = ("scale", "seed", "workers")
+_RUN_FIELDS = ("scale", "seed", "workers", "cache", "cache_dir")
 
 
 class ServiceApp:
@@ -191,10 +191,15 @@ class ServiceApp:
             raise ValueError(
                 f"unknown run field(s) {unknown}; known: {list(allowed)}"
             )
+        cache_dir = body.get("cache_dir")
+        if cache_dir is not None and not isinstance(cache_dir, str):
+            raise ValueError("cache_dir must be a string path")
         return {
             "scale": float(body.get("scale", 1.0)),
             "seed": int(body.get("seed", 0)),
             "workers": int(body.get("workers", 1)),
+            "cache": bool(body.get("cache", False)),
+            "cache_dir": cache_dir,
         }
 
     def _submit(self, submit, **kwargs) -> Response:
@@ -290,6 +295,15 @@ class ServiceApp:
             job = self.manager.cancel(job_id)
         except KeyError as error:
             return _not_found(str(error.args[0]))
+        except JobNotCancellable as error:
+            return Response(
+                409,
+                error_envelope(
+                    "JobNotCancellable",
+                    str(error),
+                    data=error.job.as_dict(),
+                ),
+            )
         return Response(202, ok_envelope(job.as_dict()))
 
 

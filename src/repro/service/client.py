@@ -107,37 +107,70 @@ class ServiceClient:
         return self._call("GET", f"/v1/sweeps/{name}")
 
     # -- submission ---------------------------------------------------------
+    @staticmethod
+    def _run_body(
+        scale: float,
+        seed: int,
+        workers: int,
+        cache: bool,
+        cache_dir: Optional[str],
+        **extra,
+    ) -> Dict:
+        body = dict(extra, scale=scale, seed=seed, workers=workers)
+        # only ship the cache knobs when asked — older servers reject
+        # unknown run fields.
+        if cache or cache_dir:
+            body["cache"] = True
+            if cache_dir:
+                body["cache_dir"] = cache_dir
+        return body
+
     def submit_scenario(
-        self, name: str, scale: float = 1.0, seed: int = 0, workers: int = 1
+        self,
+        name: str,
+        scale: float = 1.0,
+        seed: int = 0,
+        workers: int = 1,
+        cache: bool = False,
+        cache_dir: Optional[str] = None,
     ) -> Dict:
         return self._call(
             "POST",
             f"/v1/scenarios/{name}/runs",
-            body={"scale": scale, "seed": seed, "workers": workers},
+            body=self._run_body(scale, seed, workers, cache, cache_dir),
         )
 
     def submit_inline(
-        self, scenario: Dict, scale: float = 1.0, seed: int = 0, workers: int = 1
+        self,
+        scenario: Dict,
+        scale: float = 1.0,
+        seed: int = 0,
+        workers: int = 1,
+        cache: bool = False,
+        cache_dir: Optional[str] = None,
     ) -> Dict:
         """Submit an ad-hoc ``Scenario.from_dict`` payload."""
         return self._call(
             "POST",
             "/v1/runs",
-            body={
-                "scenario": scenario,
-                "scale": scale,
-                "seed": seed,
-                "workers": workers,
-            },
+            body=self._run_body(
+                scale, seed, workers, cache, cache_dir, scenario=scenario
+            ),
         )
 
     def submit_sweep(
-        self, name: str, scale: float = 1.0, seed: int = 0, workers: int = 1
+        self,
+        name: str,
+        scale: float = 1.0,
+        seed: int = 0,
+        workers: int = 1,
+        cache: bool = False,
+        cache_dir: Optional[str] = None,
     ) -> Dict:
         return self._call(
             "POST",
             f"/v1/sweeps/{name}/runs",
-            body={"scale": scale, "seed": seed, "workers": workers},
+            body=self._run_body(scale, seed, workers, cache, cache_dir),
         )
 
     # -- job lifecycle ------------------------------------------------------

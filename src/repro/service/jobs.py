@@ -13,8 +13,20 @@ never lets a job kill the daemon:
 * a raising *job* (bad payload, validation error) completes ``failed``
   with a structured error;
 * cancellation is cooperative: the cancel endpoint sets an event the
-  chain executor polls between steps, so a cancelled job still
-  collects a partial table of the steps it finished.
+  chain executor polls between steps (and the pooled backend polls
+  between chains), so a cancelled job still collects a partial table
+  of the steps it finished. A job ends ``cancelled`` only when the
+  cancellation was actually *observed* — a cancel that lands after
+  the last step finished leaves the job ``done`` with its full
+  result, and cancelling an already-terminal job is a no-op. Sweep
+  jobs cannot be cancelled mid-run (``run_sweep`` is one atomic
+  call); attempting it raises :class:`JobNotCancellable` instead of
+  silently accepting the request.
+
+Job views are race-free: :meth:`Job.as_dict` and
+:meth:`Job.elapsed_s` snapshot the mutable fields under the manager's
+lock, so a status poll can never observe e.g. ``running`` with a
+non-null ``finished_at``.
 
 Results are rendered through the golden serializer
 (:func:`repro.experiments.golden.render_result`), so the ``trace`` a
@@ -32,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..scenarios.backends import ContainedSerialBackend, ProcessPoolBackend
+from ..scenarios.cache import CachingBackend, OutcomeCache, resolve_cache_dir
 from ..scenarios.containment import is_failure
 from ..scenarios.registry import get_definition
 from ..scenarios.runner import ScenarioRunner
@@ -57,6 +70,19 @@ class JobStates:
 
 class JobQueueFull(RuntimeError):
     """The bounded queue rejected a submission (HTTP 503 upstream)."""
+
+
+class JobNotCancellable(RuntimeError):
+    """Cancel was requested for a job that cannot honour it (a sweep
+    already running — run_sweep is one atomic call); HTTP 409
+    upstream. Structured refusal beats silently ignoring the event."""
+
+    def __init__(self, job: "Job"):
+        self.job = job
+        super().__init__(
+            f"job {job.id} is a {job.kind} already {job.status}; sweeps "
+            "cannot be cancelled mid-run"
+        )
 
 
 @dataclass
@@ -85,39 +111,64 @@ class Job:
     #: structured error when the job itself failed.
     error: Optional[Dict] = None
     cancel_event: threading.Event = field(default_factory=threading.Event)
+    #: run through the content-addressed outcome cache?
+    cache: bool = False
+    cache_dir: Optional[str] = None
+    #: chain-cache counters, filled in after a cached run.
+    cache_hits: Optional[int] = None
+    cache_misses: Optional[int] = None
+    #: guards every mutable field; the manager swaps in its own lock
+    #: at enqueue time so views and lifecycle commits serialise.
+    lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
     @property
     def finished(self) -> bool:
         return self.status in JobStates.TERMINAL
 
     def elapsed_s(self) -> Optional[float]:
+        with self.lock:
+            return self._elapsed_locked()
+
+    def _elapsed_locked(self) -> Optional[float]:
         if self.started_at is None:
             return None
         end = self.finished_at if self.finished_at is not None else time.time()
         return round(end - self.started_at, 3)
 
     def as_dict(self, include_result: bool = False) -> Dict:
-        """The job's status view; ``include_result`` adds the payload."""
-        data = {
-            "id": self.id,
-            "kind": self.kind,
-            "name": self.name,
-            "tenant": self.tenant,
-            "scale": self.scale,
-            "seed": self.seed,
-            "workers": self.workers,
-            "status": self.status,
-            "submitted_at": self.submitted_at,
-            "started_at": self.started_at,
-            "finished_at": self.finished_at,
-            "elapsed_s": self.elapsed_s(),
-            "failure_count": len(self.failures),
-            "error": self.error,
-        }
-        if include_result:
-            data["result"] = self.result
-            data["trace"] = self.trace
-            data["failures"] = self.failures
+        """The job's status view; ``include_result`` adds the payload.
+
+        The snapshot is taken under the job's lock — the lifecycle
+        fields (``status``/``finished_at``/``failures``/…) can never
+        tear against a concurrent status commit.
+        """
+        with self.lock:
+            data = {
+                "id": self.id,
+                "kind": self.kind,
+                "name": self.name,
+                "tenant": self.tenant,
+                "scale": self.scale,
+                "seed": self.seed,
+                "workers": self.workers,
+                "status": self.status,
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "elapsed_s": self._elapsed_locked(),
+                "failure_count": len(self.failures),
+                "error": self.error,
+                "cache": {
+                    "enabled": self.cache,
+                    "dir": self.cache_dir,
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                },
+            }
+            if include_result:
+                data["result"] = self.result
+                data["trace"] = self.trace
+                data["failures"] = list(self.failures)
         return data
 
 
@@ -129,7 +180,9 @@ class JobManager:
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
-        self._lock = threading.Lock()
+        # re-entrant: Job.as_dict() takes the same lock the status
+        # commit holds, and internal helpers may nest acquisitions.
+        self._lock = threading.RLock()
         self._ids = itertools.count(1)
         self._closed = False
         self._workers = [
@@ -150,6 +203,8 @@ class JobManager:
         seed: int = 0,
         workers: int = 1,
         tenant: str = "anonymous",
+        cache: bool = False,
+        cache_dir: Optional[str] = None,
     ) -> Job:
         """Enqueue one scenario run — registered by name, or an inline
         ``Scenario.from_dict`` payload. Bad payloads raise here
@@ -174,6 +229,8 @@ class JobManager:
                 seed=seed,
                 workers=workers,
                 scenario=dict(scenario) if scenario is not None else None,
+                cache=bool(cache or cache_dir),
+                cache_dir=cache_dir,
             )
         )
 
@@ -184,6 +241,8 @@ class JobManager:
         seed: int = 0,
         workers: int = 1,
         tenant: str = "anonymous",
+        cache: bool = False,
+        cache_dir: Optional[str] = None,
     ) -> Job:
         """Enqueue one registered sweep (validated synchronously)."""
         get_sweep(name)  # raises KeyError on unknown names
@@ -196,6 +255,8 @@ class JobManager:
                 scale=scale,
                 seed=seed,
                 workers=workers,
+                cache=bool(cache or cache_dir),
+                cache_dir=cache_dir,
             )
         )
 
@@ -215,6 +276,9 @@ class JobManager:
                     f"capacity {self.config.capacity})"
                 )
             job.submitted_at = time.time()
+            # share the manager lock so job views and lifecycle
+            # commits serialise on the same monitor.
+            job.lock = self._lock
             self._jobs[job.id] = job
             self._order.append(job.id)
         self._queue.put(job.id)
@@ -254,9 +318,20 @@ class JobManager:
     # -- cancellation -------------------------------------------------------
     def cancel(self, job_id: str) -> Job:
         """Request cancellation; cooperative, so a running job stops at
-        its next step boundary and keeps the steps it finished."""
+        its next step boundary and keeps the steps it finished.
+
+        Terminal jobs are left untouched (the event is *not* set — a
+        cancel landing after completion must not relabel a finished
+        job). Cancelling a sweep that is already running raises
+        :class:`JobNotCancellable`: ``run_sweep`` is one atomic call
+        with no boundary to stop at, and a structured refusal beats
+        accepting a request that would be silently ignored."""
         job = self.get(job_id)
         with self._lock:
+            if job.finished:
+                return job
+            if job.kind == "sweep" and job.status == JobStates.RUNNING:
+                raise JobNotCancellable(job)
             job.cancel_event.set()
             if job.status == JobStates.QUEUED:
                 # never started: nothing partial to keep.
@@ -290,20 +365,27 @@ class JobManager:
             job.started_at = time.time()
         try:
             if job.kind == "scenario":
-                self._run_scenario_job(job)
+                observed_cancel = self._run_scenario_job(job)
             else:
-                self._run_sweep_job(job)
-            status = (
-                JobStates.CANCELLED if job.cancel_event.is_set() else JobStates.DONE
-            )
+                observed_cancel = self._run_sweep_job(job)
+            # a job is cancelled only if the cancellation was actually
+            # observed (a step/chain was skipped because of it). A
+            # cancel that lands after the last step finished changes
+            # nothing: the job completed, so it is done.
+            status = JobStates.CANCELLED if observed_cancel else JobStates.DONE
         except Exception as error:  # the job fails; the server never does
-            job.error = {"type": type(error).__name__, "message": str(error)}
+            error_view = {"type": type(error).__name__, "message": str(error)}
             status = JobStates.FAILED
+        else:
+            error_view = None
         with self._lock:
+            job.error = error_view if status == JobStates.FAILED else job.error
             job.status = status
             job.finished_at = time.time()
 
-    def _run_scenario_job(self, job: Job) -> None:
+    def _run_scenario_job(self, job: Job) -> bool:
+        """Run one scenario job; returns True iff cancellation was
+        observed (at least one step/chain was skipped because of it)."""
         from ..experiments.golden import render_result  # late: heavy import
 
         if job.scenario is not None:
@@ -312,26 +394,41 @@ class JobManager:
             runner = get_definition(job.name).runner()
         plan = runner.plan(scale=job.scale, seed=job.seed)
         runner.validate(plan)
+        stop = job.cancel_event.is_set
         if job.workers > 1:
-            backend = ProcessPoolBackend(workers=job.workers)
+            backend = ProcessPoolBackend(workers=job.workers, stop=stop)
         else:
-            backend = ContainedSerialBackend(stop=job.cancel_event.is_set)
+            backend = ContainedSerialBackend(stop=stop)
+        if job.cache:
+            backend = CachingBackend(
+                backend, OutcomeCache(resolve_cache_dir(job.cache_dir))
+            )
         outcomes = runner.execute(plan, backend=backend)
         result = runner.collect(plan, outcomes)
-        job.failures = [
+        failures = [
             failure_view(outcome) for outcome in outcomes if is_failure(outcome)
         ]
-        job.result = jsonify(result.as_dict())
-        job.trace = render_result(result)
+        with self._lock:
+            job.failures = failures
+            job.result = jsonify(result.as_dict())
+            job.trace = render_result(result)
+            if job.cache:
+                job.cache_hits = backend.stats.hits
+                job.cache_misses = backend.stats.misses
+        return any(f.get("error_type") == "JobCancelled" for f in failures)
 
-    def _run_sweep_job(self, job: Job) -> None:
+    def _run_sweep_job(self, job: Job) -> bool:
         # sweeps fan out whole variants; cancellation applies only
-        # while queued (run_sweep is one atomic call).
+        # while queued (run_sweep is one atomic call) — cancel() raises
+        # JobNotCancellable once the sweep is running.
         outcome = run_sweep(
-            job.name, scale=job.scale, seed=job.seed, workers=job.workers
+            job.name,
+            scale=job.scale,
+            seed=job.seed,
+            workers=job.workers,
+            cache_dir=resolve_cache_dir(job.cache_dir) if job.cache else None,
         )
-        job.result = jsonify(outcome.as_dict())
-        job.failures = [
+        failures = [
             {
                 "variant": failed.name,
                 "error_type": failed.error_type,
@@ -339,3 +436,10 @@ class JobManager:
             }
             for failed in outcome.failed
         ]
+        with self._lock:
+            job.result = jsonify(outcome.as_dict())
+            job.failures = failures
+            if job.cache:
+                job.cache_hits = outcome.cache_hits
+                job.cache_misses = outcome.cache_misses
+        return False

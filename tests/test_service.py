@@ -11,15 +11,26 @@ golden render, including under concurrent in-flight jobs.
 
 import io
 import json
+import os
+import tempfile
 import threading
 import time
 
 import pytest
 
 from repro.experiments import EXHIBIT_RUNS
-from repro.scenarios import SCENARIO_REGISTRY, Scenario, register
+from repro.scenarios import (
+    SCENARIO_REGISTRY,
+    SWEEP_REGISTRY,
+    Scenario,
+    Sweep,
+    SweepAxis,
+    register,
+    register_sweep,
+)
 from repro.scenarios.runner import AnalysisStep
 from repro.service import (
+    JobManager,
     JobStates,
     QueueConfig,
     ServerConfig,
@@ -449,6 +460,220 @@ class TestSweepJobs:
         with pytest.raises(ServiceError) as excinfo:
             client.submit_sweep("nope")
         assert excinfo.value.status == 404
+
+
+#: flag directory for the pooled-cancel regression test; process
+#: environment survives every multiprocessing start method, unlike
+#: closures or in-process events.
+_POOL_FLAG_ENV = "REPRO_TEST_POOL_CANCEL_DIR"
+
+
+def _pool_cancel_step(scale, seed):
+    """Picklable blocking step: drop a started-marker, then wait for
+    the release file (file-system signalling is the only channel that
+    reaches pool workers regardless of start method)."""
+    from repro.scenarios.result import ExperimentResult
+
+    root = os.environ[_POOL_FLAG_ENV]
+    handle, _ = tempfile.mkstemp(prefix="started-", dir=root)
+    os.close(handle)
+    release = os.path.join(root, "release")
+    deadline = time.monotonic() + 60
+    while not os.path.exists(release) and time.monotonic() < deadline:
+        time.sleep(0.01)
+    result = ExperimentResult(exhibit="pool", title="pool", columns=["v"])
+    result.add_row(v=1)
+    return result
+
+
+class TestJobLifecycleRaces:
+    """Deterministic interleavings for the job-lifecycle races: a
+    cancel landing after the last step, a cancel on a terminal job,
+    torn status views, and the pool's cancel handling."""
+
+    @staticmethod
+    def _result(value=1):
+        from repro.scenarios.result import ExperimentResult
+
+        result = ExperimentResult(exhibit="race", title="race", columns=["v"])
+        result.add_row(v=value)
+        return result
+
+    def _register(self, name, steps):
+        def plan_fn(scenario, scale, seed):
+            return list(steps)
+
+        register(
+            Scenario.builder(name).kind("analysis").build(),
+            plan_fn=plan_fn,
+            replace=True,
+        )
+
+    def test_cancel_landing_after_the_last_step_stays_done(self):
+        # The last step itself requests cancellation, so the cancel
+        # event is guaranteed set by the time the job commits — yet no
+        # step was skipped, so the status must stay DONE. (The racy
+        # version re-read the event at commit time and flipped a fully
+        # completed job to CANCELLED.)
+        manager = JobManager(QueueConfig(workers=1, capacity=4))
+        box = {}
+        ready = threading.Event()
+        name = "race-late-cancel"
+
+        def final(scale, seed):
+            assert ready.wait(timeout=30)
+            manager.cancel(box["id"])
+            return self._result()
+
+        self._register(name, [AnalysisStep(name="final", fn=final)])
+        try:
+            job = manager.submit_scenario(name)
+            box["id"] = job.id
+            ready.set()
+            manager.wait(job.id, timeout_s=60)
+            assert job.status == JobStates.DONE
+            assert job.cancel_event.is_set()  # the cancel did land
+            assert job.failures == []
+        finally:
+            manager.close()
+            SCENARIO_REGISTRY.pop(name, None)
+
+    def test_cancel_of_terminal_job_is_a_no_op(self):
+        manager = JobManager(QueueConfig(workers=1, capacity=4))
+        name = "race-terminal-cancel"
+        self._register(
+            name, [AnalysisStep(name="quick", fn=lambda s, z: self._result())]
+        )
+        try:
+            job = manager.submit_scenario(name)
+            manager.wait(job.id, timeout_s=60)
+            assert job.status == JobStates.DONE
+            finished_at = job.finished_at
+            same = manager.cancel(job.id)
+            assert same is job
+            assert job.status == JobStates.DONE
+            assert not job.cancel_event.is_set()
+            assert job.finished_at == finished_at
+        finally:
+            manager.close()
+            SCENARIO_REGISTRY.pop(name, None)
+
+    def test_job_views_never_tear(self):
+        # Hammer as_dict() from poller threads while jobs run: a view
+        # must never pair a terminal status with finished_at=None, or
+        # a queued one with started_at set — the torn combinations
+        # unsynchronised per-field commits used to allow.
+        manager = JobManager(QueueConfig(workers=2, capacity=32))
+        name = "race-view-probe"
+
+        def step(scale, seed):
+            time.sleep(0.002)
+            return self._result()
+
+        self._register(name, [AnalysisStep(name=f"s{i}", fn=step) for i in range(4)])
+        torn = []
+        stop = threading.Event()
+
+        def poll(job):
+            while not stop.is_set():
+                view = job.as_dict(include_result=True)
+                status = view["status"]
+                if status in JobStates.TERMINAL and view["finished_at"] is None:
+                    torn.append(("terminal-without-finish", status))
+                if status == JobStates.QUEUED and view["started_at"] is not None:
+                    torn.append(("queued-but-started", status))
+                if view["finished_at"] is not None and view["started_at"] is None:
+                    torn.append(("finished-without-start", status))
+                if status in JobStates.TERMINAL:
+                    return
+
+        try:
+            jobs = [manager.submit_scenario(name) for _ in range(6)]
+            pollers = [threading.Thread(target=poll, args=(job,)) for job in jobs]
+            for thread in pollers:
+                thread.start()
+            for job in jobs:
+                manager.wait(job.id, timeout_s=60)
+            stop.set()
+            for thread in pollers:
+                thread.join(timeout=10)
+            assert torn == []
+        finally:
+            stop.set()
+            manager.close()
+            SCENARIO_REGISTRY.pop(name, None)
+
+    def test_pooled_cancel_skips_queued_chains(self, tmp_path, monkeypatch):
+        # Four one-step chains on a two-worker pool: cancel while the
+        # first two block, so the pool's stop poll must cancel the two
+        # queued futures. (The racy version never looked at the event:
+        # pooled jobs silently ran to completion after a cancel.)
+        monkeypatch.setenv(_POOL_FLAG_ENV, str(tmp_path))
+        name = "race-pool-cancel"
+        self._register(
+            name,
+            [AnalysisStep(name=f"block-{i}", fn=_pool_cancel_step) for i in range(4)],
+        )
+        manager = JobManager(QueueConfig(workers=1, capacity=4))
+        try:
+            job = manager.submit_scenario(name, workers=2)
+            deadline = time.monotonic() + 60
+            while len(list(tmp_path.glob("started-*"))) < 2:
+                assert time.monotonic() < deadline, "pool workers never started"
+                time.sleep(0.01)
+            manager.cancel(job.id)
+            # give the pool's stop poll (50 ms period) ample time to
+            # cancel the queued futures before the blockers release.
+            time.sleep(0.5)
+            (tmp_path / "release").write_text("go")
+            manager.wait(job.id, timeout_s=120)
+            assert job.status == JobStates.CANCELLED
+            skipped = [f for f in job.failures if f["error_type"] == "JobCancelled"]
+            assert len(skipped) == 2
+            assert all(f["skipped"] for f in skipped)
+            # only the two blocked chains ever started
+            assert len(list(tmp_path.glob("started-*"))) == 2
+        finally:
+            manager.close()
+            SCENARIO_REGISTRY.pop(name, None)
+
+    def test_running_sweep_cancel_is_structured_409(self, service):
+        # A running sweep has no step boundary to stop at; cancelling
+        # it must be a structured refusal, not a silently ignored
+        # acceptance.
+        _, client = service
+        name = "race-sweep-block"
+        started = threading.Event()
+        release = threading.Event()
+
+        def block(scale, seed):
+            started.set()
+            assert release.wait(timeout=60)
+            return self._result()
+
+        self._register(name, [AnalysisStep(name="block", fn=block)])
+        register_sweep(
+            Sweep(
+                name="race-noncancellable",
+                scenario=name,
+                axes=(SweepAxis("cluster.nodes", (1,)),),
+            ),
+            replace=True,
+        )
+        try:
+            job = client.submit_sweep("race-noncancellable")
+            assert started.wait(timeout=60)
+            with pytest.raises(ServiceError) as excinfo:
+                client.cancel(job["id"])
+            assert excinfo.value.status == 409
+            assert excinfo.value.error_type == "JobNotCancellable"
+            release.set()
+            finished = client.wait(job["id"], timeout_s=120)
+            assert finished["status"] == JobStates.DONE
+        finally:
+            release.set()
+            SWEEP_REGISTRY.pop("race-noncancellable", None)
+            SCENARIO_REGISTRY.pop(name, None)
 
 
 class TestServerLifecycle:
