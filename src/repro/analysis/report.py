@@ -1,0 +1,73 @@
+"""Findings: what a rule reports and how it is rendered.
+
+A finding pins a rule violation to an exact source location.  The text
+form (``path:line:col: RULE message``) matches the compiler convention
+so editors and CI annotations can parse it; the dict form feeds the CLI
+JSON envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Deterministic report order: by location, then rule id."""
+
+    return sorted(findings, key=Finding.sort_key)
+
+
+@dataclass(frozen=True, slots=True)
+class LintResult:
+    """Outcome of one lint run over a module index."""
+
+    findings: tuple
+    files: int
+    rules: tuple
+    suppressed: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "findings": [finding.as_dict() for finding in self.findings],
+            "files": self.files,
+            "rules": list(self.rules),
+            "suppressed": self.suppressed,
+        }
+
+    def summary(self) -> str:
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        return (
+            f"{len(self.findings)} {noun} in {self.files} file(s) "
+            f"({self.suppressed} suppressed by pragmas)"
+        )

@@ -1,0 +1,34 @@
+"""The rule catalogue. Adding a rule = subclass Rule, append here."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..engine import Rule
+from .determinism import BannedNondeterminism, RngKeyHygiene
+from .locking import LockDiscipline
+from .pickling import PickleSafeExceptions
+from .schema import StrictSpecSchema
+
+ALL_RULES: Tuple[Rule, ...] = (
+    BannedNondeterminism(),
+    RngKeyHygiene(),
+    PickleSafeExceptions(),
+    LockDiscipline(),
+    StrictSpecSchema(),
+)
+
+RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+
+ALL_RULE_IDS: Tuple[str, ...] = tuple(RULES_BY_ID)
+
+__all__ = [
+    "ALL_RULES",
+    "ALL_RULE_IDS",
+    "RULES_BY_ID",
+    "BannedNondeterminism",
+    "RngKeyHygiene",
+    "PickleSafeExceptions",
+    "LockDiscipline",
+    "StrictSpecSchema",
+]

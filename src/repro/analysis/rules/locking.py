@@ -1,0 +1,143 @@
+"""LOCK001 — Job/JobManager state mutates only under the lock.
+
+The service's job table is shared between the HTTP threads and the
+executor thread; PR 8 fixed a family of races where ``Job`` fields were
+read-modify-written outside the manager's RLock.  This rule is a
+lightweight static race detector for exactly that family: inside
+``repro.service.jobs``, any attribute *write* on ``self``/``job``
+within the guarded classes must sit lexically inside a
+``with self._lock:`` / ``with job.lock:`` block.  ``__init__`` and
+``__post_init__`` are exempt (the object is not yet shared).
+
+Lexical containment is an approximation — it cannot prove a helper is
+only called under the lock — but every write the rule accepts is
+provably guarded, which is the direction a race detector should err.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Tuple
+
+from ..engine import ModuleIndex, Rule, SourceModule
+from ..report import Finding
+
+DEFAULT_MODULES: Tuple[str, ...] = ("repro.service.jobs",)
+GUARDED_CLASSES: Tuple[str, ...] = ("Job", "JobManager")
+GUARDED_RECEIVERS: Tuple[str, ...] = ("self", "job")
+EXEMPT_METHODS: Tuple[str, ...] = ("__init__", "__post_init__")
+
+
+def _is_lock_context(item: ast.withitem) -> bool:
+    """True when a with-item looks like a lock acquisition.
+
+    Matches any context expression whose final attribute/name segment
+    mentions ``lock`` (``self._lock``, ``job.lock``, ``self.lock``).
+    """
+
+    expr = item.context_expr
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    if isinstance(expr, ast.Attribute):
+        return "lock" in expr.attr.lower()
+    if isinstance(expr, ast.Name):
+        return "lock" in expr.id.lower()
+    return False
+
+
+def _write_targets(node: ast.stmt) -> List[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, ast.AugAssign):
+        return [node.target]
+    if isinstance(node, ast.AnnAssign) and node.value is not None:
+        return [node.target]
+    return []
+
+
+class LockDiscipline(Rule):
+    id = "LOCK001"
+    title = "shared job state written outside the lock"
+    rationale = (
+        "Job/JobManager fields are shared between HTTP threads and the "
+        "executor; writes outside `with self._lock` are the race family "
+        "the service already had to fix once"
+    )
+    modules = DEFAULT_MODULES
+    classes = GUARDED_CLASSES
+    receivers = GUARDED_RECEIVERS
+
+    def check(self, module: SourceModule, index: ModuleIndex) -> Iterable[Finding]:
+        if module.name not in self.modules:
+            return
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name in self.classes:
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: SourceModule, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in EXEMPT_METHODS:
+                continue
+            yield from self._walk(module, cls, item.body, in_lock=False)
+
+    def _walk(
+        self,
+        module: SourceModule,
+        cls: ast.ClassDef,
+        body: Iterable[ast.stmt],
+        *,
+        in_lock: bool,
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if not in_lock:
+                for target in _write_targets(stmt):
+                    yield from self._check_target(module, cls, stmt, target)
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                locked = in_lock or any(
+                    _is_lock_context(item) for item in stmt.items
+                )
+                yield from self._walk(module, cls, stmt.body, in_lock=locked)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Nested defs run later, possibly unlocked: reset.
+                yield from self._walk(module, cls, stmt.body, in_lock=False)
+            else:
+                for child_body in _nested_bodies(stmt):
+                    yield from self._walk(
+                        module, cls, child_body, in_lock=in_lock
+                    )
+
+    def _check_target(
+        self,
+        module: SourceModule,
+        cls: ast.ClassDef,
+        stmt: ast.stmt,
+        target: ast.expr,
+    ) -> Iterator[Finding]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._check_target(module, cls, stmt, element)
+            return
+        if not isinstance(target, ast.Attribute):
+            return
+        base = target.value
+        if isinstance(base, ast.Name) and base.id in self.receivers:
+            yield self.finding(
+                module,
+                stmt,
+                f"write to {base.id}.{target.attr} in {cls.name} outside a "
+                "`with self._lock`/`job.lock` block — shared job state "
+                "must mutate under the manager's lock",
+            )
+
+
+def _nested_bodies(stmt: ast.stmt) -> Iterator[List[ast.stmt]]:
+    for field in ("body", "orelse", "finalbody"):
+        value = getattr(stmt, field, None)
+        if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+            yield value
+    for handler in getattr(stmt, "handlers", []) or []:
+        yield handler.body

@@ -1,0 +1,109 @@
+"""SCHEMA001 — spec dataclasses parse strictly or not at all.
+
+Every declarative spec in this repo (scenarios, sweeps, middleware,
+service configs) round-trips through JSON; a ``from_dict`` that accepts
+unknown keys silently drops user intent (a misspelled ``repetitons``
+becomes a default, not an error).  ``repro.scenarios.schema`` owns the
+strict plumbing — ``strict_from_dict`` rejects unknown keys by name,
+``problems()`` collects every validation issue at once.  This rule
+pins the convention: a spec-style dataclass exposing ``from_dict`` in
+the scenario/tune/service packages must route through that plumbing
+and expose ``problems()``.
+
+``repro.workloads`` is deliberately out of scope: its ``from_dict``
+projections (HyperParams/SystemParams) filter joint-sample dicts down
+to their own fields by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Set, Tuple
+
+from ..engine import ModuleIndex, Rule, SourceModule, in_packages
+from ..report import Finding
+
+DEFAULT_PACKAGES: Tuple[str, ...] = (
+    "repro.scenarios",
+    "repro.tune",
+    "repro.service",
+)
+
+# Referencing any of these (lexically, in the from_dict body) counts as
+# routing through the schema plumbing.
+SCHEMA_PLUMBING: Set[str] = {
+    "strict_from_dict",
+    "unknown_field_message",
+    "unknown_fields",
+}
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        expr = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(expr, ast.Attribute) and expr.attr == "dataclass":
+            return True
+        if isinstance(expr, ast.Name) and expr.id == "dataclass":
+            return True
+    return False
+
+
+def _method(node: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == name:
+            return item
+    return None
+
+
+def _references_plumbing(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and node.id in SCHEMA_PLUMBING:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in SCHEMA_PLUMBING:
+            return True
+    return False
+
+
+class StrictSpecSchema(Rule):
+    id = "SCHEMA001"
+    title = "spec dataclass bypasses the strict schema plumbing"
+    rationale = (
+        "a from_dict that accepts unknown keys turns typos into silent "
+        "defaults; strict_from_dict rejects them by name and problems() "
+        "reports every issue at once"
+    )
+    packages = DEFAULT_PACKAGES
+
+    def check(self, module: SourceModule, index: ModuleIndex) -> Iterable[Finding]:
+        if not in_packages(module.name, self.packages):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
+                continue
+            from_dict = _method(node, "from_dict")
+            if from_dict is None:
+                continue
+            yield from self._check_spec(module, node, from_dict)
+
+    def _check_spec(
+        self,
+        module: SourceModule,
+        cls: ast.ClassDef,
+        from_dict: ast.FunctionDef,
+    ) -> Iterator[Finding]:
+        if not _references_plumbing(from_dict):
+            yield self.finding(
+                module,
+                from_dict,
+                f"{cls.name}.from_dict does not route through "
+                "repro.scenarios.schema.strict_from_dict — unknown keys "
+                "would be silently dropped or raise a bare TypeError",
+            )
+        if _method(cls, "problems") is None:
+            yield self.finding(
+                module,
+                cls,
+                f"spec dataclass {cls.name!r} exposes from_dict but no "
+                "problems() — validation issues must be collectable "
+                "without raising one at a time",
+            )

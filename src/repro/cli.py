@@ -202,9 +202,9 @@ def _cmd_run(args) -> int:
     rendered = []
     for key in keys:
         scale, seed = resolve(key)
-        started = time.time()
+        started = time.time()  # repro: allow[DET001] -- CLI elapsed timing
         result = EXHIBITS[key].run(scale=scale, seed=seed)
-        elapsed = time.time() - started
+        elapsed = time.time() - started  # repro: allow[DET001] -- CLI elapsed timing
         if args.json:
             rendered.append(
                 {
@@ -385,7 +385,7 @@ def _cmd_scenario_run(args) -> int:
                 file=sys.stderr,
             )
     runner = definition.runner()
-    started = time.time()
+    started = time.time()  # repro: allow[DET001] -- CLI elapsed timing
     try:
         plan = runner.plan(scale=scale, seed=seed)
         runner.validate(plan)
@@ -412,7 +412,7 @@ def _cmd_scenario_run(args) -> int:
         if not args.json:
             raise
         return _emit_error("StepExecutionError", str(error), exit_code=1)
-    elapsed = time.time() - started
+    elapsed = time.time() - started  # repro: allow[DET001] -- CLI elapsed timing
     failures = [failure_view(o) for o in outcomes if is_failure(o)]
     cache_stats = backend.stats if cache_enabled else None
     if args.json:
@@ -547,7 +547,7 @@ def _cmd_sweep_run(args) -> int:
     except KeyError as error:
         return _fail(args, "UnknownSweep", str(error.args[0]))
     cache_enabled, cache_dir = _cache_opts(args)
-    started = time.time()
+    started = time.time()  # repro: allow[DET001] -- CLI elapsed timing
     try:
         outcome = run_sweep(
             sweep,
@@ -558,7 +558,7 @@ def _cmd_sweep_run(args) -> int:
         )
     except SweepError as error:
         return _fail(args, "SweepError", str(error))
-    elapsed = time.time() - started
+    elapsed = time.time() - started  # repro: allow[DET001] -- CLI elapsed timing
     failed = len(outcome.failed)
     run_id = None
     if cache_enabled:
@@ -642,6 +642,32 @@ def _cmd_sweep_compare(args) -> int:
     verdict = "identical" if comparison["identical"] else "differ"
     print(f"[{len(comparison['rows'])} field(s) compared: {verdict}]")
     return 0 if comparison["identical"] else 1
+
+
+# ---------------------------------------------------------------------------
+# Static analysis
+# ---------------------------------------------------------------------------
+
+
+def _cmd_lint(args) -> int:
+    from .analysis import UnknownRule, run_lint
+
+    try:
+        result = run_lint(paths=args.paths, rules=args.rule)
+    except UnknownRule as error:
+        return _fail(args, "UnknownRule", str(error))
+    except (OSError, SyntaxError) as error:
+        return _fail(args, "BadPath", str(error))
+    if args.json:
+        if result.clean:
+            return _emit_ok(result.as_dict())
+        return _emit_error(
+            "LintFindings", result.summary(), data=result.as_dict(), exit_code=1
+        )
+    for finding in result.findings:
+        print(finding.render())
+    print(f"[{result.summary()}]", file=sys.stderr)
+    return 0 if result.clean else 1
 
 
 # ---------------------------------------------------------------------------
@@ -919,6 +945,27 @@ def build_parser() -> argparse.ArgumentParser:
         "$REPRO_CACHE_DIR or ~/.cache/repro/outcomes)",
     )
     w_cmp.set_defaults(func=_cmd_sweep_compare)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check the determinism/concurrency invariants "
+        "(exit 0 clean, 1 on findings)",
+    )
+    lint.add_argument(
+        "--rule",
+        nargs="+",
+        default=None,
+        metavar="ID",
+        help="restrict to specific rule ids (e.g. DET001 PKL001)",
+    )
+    lint.add_argument(
+        "--paths",
+        nargs="+",
+        default=None,
+        help="files/directories to lint (default: the installed repro package)",
+    )
+    lint.add_argument("--json", action="store_true", help="envelope output")
+    lint.set_defaults(func=_cmd_lint)
 
     serve = sub.add_parser(
         "serve", help="run the scenario service daemon (HTTP/JSON)"

@@ -358,6 +358,7 @@ class SweepRunStore:
 
     def save(self, outcome) -> str:
         """Persist one SweepResult; returns its run id."""
+        # repro: allow[DET001] -- run ids are wall-clock stamped, never replayed
         run_id = f"{time.time_ns():020d}"
         directory = self._sweep_dir(outcome.sweep.name)
         os.makedirs(directory, exist_ok=True)
@@ -369,6 +370,7 @@ class SweepRunStore:
             "scale": outcome.scale,
             "seed": outcome.seed,
             "workers": outcome.workers,
+            # repro: allow[DET001] -- provenance timestamp, not part of the outcome
             "recorded_at": time.time(),
             "points": points,
             "cache": (

@@ -51,6 +51,18 @@ class StepExecutionError(RuntimeError):
         self.step_label = step_label
         self.original = original
 
+    def __reduce__(self):
+        # Default pickling rebuilds cls(*self.args) — the formatted
+        # message against a five-argument __init__ — so a contained
+        # step failure would die again crossing the pool boundary.
+        return type(self), (
+            self.scenario,
+            self.chain_index,
+            self.step_index,
+            self.step_label,
+            self.original,
+        )
+
 
 @dataclass(frozen=True)
 class ChainFailure:

@@ -425,25 +425,24 @@ def _collect_fig14(plan: ScenarioPlan, outcomes: List) -> ExperimentResult:
             "FIFO one job at a time, 20% unseen"
         ),
     )
+    def by_workload(trace, prefix: str) -> float:
+        records = [
+            r
+            for r in trace.records
+            if r.arrival.workload.name.startswith(prefix)
+        ]
+        if not records:
+            return 0.0
+        return sum(r.response_time_s for r in records) / len(records)
+
     for step, trace in zip(plan.steps, outcomes):
         if not isinstance(step, TraceStep):
             continue
-
-        def by_workload(prefix: str) -> float:
-            records = [
-                r
-                for r in trace.records
-                if r.arrival.workload.name.startswith(prefix)
-            ]
-            if not records:
-                return 0.0
-            return sum(r.response_time_s for r in records) / len(records)
-
         result.add_row(
             system=step.policy.label,
-            jacobi_s=by_workload("jacobi"),
-            spkmeans_s=by_workload("spkmeans"),
-            bfs_s=by_workload("bfs"),
+            jacobi_s=by_workload(trace, "jacobi"),
+            spkmeans_s=by_workload(trace, "spkmeans"),
+            bfs_s=by_workload(trace, "bfs"),
             all_s=trace.mean_response_time_s(),
         )
     return result

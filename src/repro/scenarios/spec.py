@@ -93,6 +93,11 @@ class ScenarioError(ValueError):
         detail = "; ".join(self.problems)
         super().__init__(f"invalid scenario {name!r}: {detail}")
 
+    def __reduce__(self):
+        # Default pickling would rebuild via cls(*self.args) — one
+        # formatted string against a two-argument __init__.
+        return type(self), (self.scenario, self.problems)
+
 
 def _pairs(mapping) -> Tuple[Tuple[str, object], ...]:
     """Canonical (sorted) tuple-of-pairs form of a mapping field."""
@@ -116,12 +121,21 @@ class ClusterSpec:
     core_watts: float = 11.5
 
     def __post_init__(self):
+        issues = self.problems()
+        if issues:
+            raise ValueError("; ".join(issues))
+
+    def problems(self) -> List[str]:
+        issues: List[str] = []
         if self.nodes < 1:
-            raise ValueError("cluster needs at least one node")
+            issues.append("cluster needs at least one node")
         if self.cores_per_node < 1:
-            raise ValueError("cores_per_node must be >= 1")
+            issues.append("cores_per_node must be >= 1")
         if self.memory_gb_per_node <= 0:
-            raise ValueError("memory_gb_per_node must be positive")
+            issues.append("memory_gb_per_node must be positive")
+        if self.idle_watts < 0 or self.core_watts < 0:
+            issues.append("idle_watts/core_watts must be >= 0")
+        return issues
 
     @property
     def distributed(self) -> bool:
@@ -154,7 +168,7 @@ class ClusterSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "ClusterSpec":
-        return cls(**dict(data))
+        return strict_from_dict(cls, data, "cluster")
 
 
 #: the 4-node testbed used for Type-I / Type-II experiments (§7.1.1).
@@ -175,6 +189,14 @@ class AlgorithmSpec:
     def __post_init__(self):
         object.__setattr__(self, "params", _pairs(self.params))
 
+    def problems(self) -> List[str]:
+        if self.name not in ALGORITHM_BUILDERS:
+            return [
+                f"unknown algorithm {self.name!r}; known: "
+                f"{sorted(ALGORITHM_BUILDERS)}"
+            ]
+        return []
+
     def build(self, space: SearchSpace, seed: int, sample_scale: float = 1.0):
         kwargs = dict(self.params)
         if self.name == "hyperband":
@@ -186,7 +208,7 @@ class AlgorithmSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "AlgorithmSpec":
-        return cls(name=data["name"], params=_pairs(data.get("params", {})))
+        return strict_from_dict(cls, data, "algorithm", convert={"params": _pairs})
 
 
 @dataclass(frozen=True)
@@ -249,6 +271,28 @@ class SystemPolicySpec:
             return self.warm_start
         return "type12" if cluster.distributed else "scenario"
 
+    def problems(self, where: str = "") -> List[str]:
+        """Context-free validation; the scenario adds cluster-aware checks."""
+        prefix = where or f"policy {self.label!r}"
+        issues: List[str] = []
+        if self.kind not in POLICY_KINDS:
+            issues.append(f"{prefix}: unknown kind {self.kind!r}")
+            return issues
+        if self.warm_start is not None and self.warm_start not in WARM_STARTS:
+            issues.append(f"{prefix}: unknown warm_start {self.warm_start!r}")
+        if self.objective is not None and self.objective not in OBJECTIVES:
+            issues.append(
+                f"{prefix}: unknown objective {self.objective!r}; "
+                f"known: {sorted(OBJECTIVES)}"
+            )
+        if self.kind == "pipetune" and self.objective not in (None, "accuracy"):
+            issues.append(
+                f"{prefix}: pipetune keeps the accuracy objective (V1 level)"
+            )
+        if self.contention < 1.0:
+            issues.append(f"{prefix}: contention must be >= 1")
+        return issues
+
     def hyper_params(self) -> HyperParams:
         return HyperParams(**dict(self.hyper))
 
@@ -272,13 +316,18 @@ class SystemPolicySpec:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "SystemPolicySpec":
-        data = dict(data)
-        data["space_overrides"] = tuple(
-            (k, tuple(v)) for k, v in dict(data.get("space_overrides", {})).items()
+        return strict_from_dict(
+            cls,
+            data,
+            "system policy",
+            convert={
+                "space_overrides": lambda value: tuple(
+                    (k, tuple(v)) for k, v in dict(value).items()
+                ),
+                "hyper": _pairs,
+                "system": _pairs,
+            },
         )
-        data["hyper"] = _pairs(data.get("hyper", {}))
-        data["system"] = _pairs(data.get("system", {}))
-        return cls(**data)
 
 
 _DEFAULT_LABELS = {
@@ -335,6 +384,22 @@ class TenancySpec:
     def scaled_jobs(self, scale: float) -> int:
         return max(self.min_jobs, int(round(self.num_jobs * scale)))
 
+    def problems(self) -> List[str]:
+        issues: List[str] = []
+        if self.mode not in TENANCY_MODES:
+            issues.append(f"unknown tenancy mode {self.mode!r}")
+            return issues
+        if self.shared:
+            if self.num_jobs < 1 or self.min_jobs < 1:
+                issues.append("shared tenancy needs num_jobs/min_jobs >= 1")
+            if self.mean_interarrival_s <= 0:
+                issues.append("mean_interarrival_s must be positive")
+            if not 0.0 <= self.unseen_fraction <= 1.0:
+                issues.append("unseen_fraction must be in [0, 1]")
+            if self.max_concurrent_jobs < 1:
+                issues.append("max_concurrent_jobs must be >= 1")
+        return issues
+
     def as_dict(self) -> Dict:
         return {
             "mode": self.mode,
@@ -347,7 +412,7 @@ class TenancySpec:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "TenancySpec":
-        return cls(**dict(data))
+        return strict_from_dict(cls, data, "tenancy")
 
 
 #: the nested fault specs a FailureSpec composes, by field name.
@@ -508,21 +573,17 @@ class Scenario:
             issues.append("scenario name must be non-empty")
         if self.kind not in SCENARIO_KINDS:
             issues.append(f"unknown scenario kind {self.kind!r}")
-        if self.tenancy.mode not in TENANCY_MODES:
-            issues.append(f"unknown tenancy mode {self.tenancy.mode!r}")
+        issues.extend(self.tenancy.problems())
         if self.repetitions < 1:
             issues.append("repetitions must be >= 1")
         if self.max_concurrent_trials < 1:
             issues.append("max_concurrent_trials must be >= 1")
-        if self.algorithm.name not in ALGORITHM_BUILDERS:
-            issues.append(
-                f"unknown algorithm {self.algorithm.name!r}; known: "
-                f"{sorted(ALGORITHM_BUILDERS)}"
-            )
+        issues.extend(self.algorithm.problems())
         if self.kind == "analysis":
             return issues  # analysis scenarios plan through their own code
         if not self.workloads:
             issues.append("tuning scenario needs at least one workload")
+        bad_algorithm = bool(self.algorithm.problems())
         unknown = [w for w in self.workloads if w not in _KNOWN_WORKLOADS]
         if unknown:
             issues.append(
@@ -542,7 +603,7 @@ class Scenario:
         )
         for policy in self.systems:
             issues.extend(self._policy_problems(policy, nlp_flags))
-        if self.algorithm.name in ALGORITHM_BUILDERS and not unknown:
+        if not bad_algorithm and not unknown:
             issues.extend(self._algorithm_problems())
         if self.algorithm.name != "hyperband":
             scaled = [
@@ -557,21 +618,14 @@ class Scenario:
                     f"would silently lose it under {self.algorithm.name!r} — "
                     "set sample_scale=1.0 explicitly"
                 )
-        tenancy = self.tenancy
-        if tenancy.shared:
+        if self.tenancy.shared:
+            # Numeric tenancy checks live on TenancySpec.problems();
+            # only the scenario-level interactions stay here.
             if self.repetitions != 1:
                 issues.append(
                     "shared tenancy runs one arrival trace per policy; "
                     "repetitions must be 1 (vary the seed to repeat)"
                 )
-            if tenancy.num_jobs < 1 or tenancy.min_jobs < 1:
-                issues.append("shared tenancy needs num_jobs/min_jobs >= 1")
-            if tenancy.mean_interarrival_s <= 0:
-                issues.append("mean_interarrival_s must be positive")
-            if not 0.0 <= tenancy.unseen_fraction <= 1.0:
-                issues.append("unseen_fraction must be in [0, 1]")
-            if tenancy.max_concurrent_jobs < 1:
-                issues.append("max_concurrent_jobs must be >= 1")
             if any(p.kind == "fixed" for p in self.systems):
                 issues.append("fixed policies cannot run under shared tenancy")
         issues.extend(self.failures.problems())
@@ -580,24 +634,10 @@ class Scenario:
     def _policy_problems(
         self, policy: SystemPolicySpec, nlp_flags: Sequence[bool] = (True,)
     ) -> List[str]:
-        issues: List[str] = []
         where = f"policy {policy.label!r}"
+        issues: List[str] = policy.problems(where)
         if policy.kind not in POLICY_KINDS:
-            issues.append(f"{where}: unknown kind {policy.kind!r}")
             return issues
-        if policy.warm_start is not None and policy.warm_start not in WARM_STARTS:
-            issues.append(f"{where}: unknown warm_start {policy.warm_start!r}")
-        if policy.objective is not None and policy.objective not in OBJECTIVES:
-            issues.append(
-                f"{where}: unknown objective {policy.objective!r}; "
-                f"known: {sorted(OBJECTIVES)}"
-            )
-        if policy.kind == "pipetune" and policy.objective not in (None, "accuracy"):
-            issues.append(
-                f"{where}: pipetune keeps the accuracy objective (V1 level)"
-            )
-        if policy.contention < 1.0:
-            issues.append(f"{where}: contention must be >= 1")
         if policy.kind == "fixed":
             if not policy.hyper or not policy.system:
                 issues.append(f"{where}: fixed policy needs hyper and system params")

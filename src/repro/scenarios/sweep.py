@@ -50,6 +50,11 @@ class SweepError(ValueError):
         self.problems = list(problems)
         super().__init__(f"invalid sweep {name!r}: {'; '.join(self.problems)}")
 
+    def __reduce__(self):
+        # Default pickling would rebuild via cls(*self.args) — one
+        # formatted string against a two-argument __init__.
+        return type(self), (self.sweep, self.problems)
+
 
 def _fmt(value) -> str:
     """Compact human label for one axis value."""
@@ -79,12 +84,19 @@ class SweepAxis:
         object.__setattr__(self, "values", tuple(self.values))
         labels = tuple(self.labels) or tuple(_fmt(v) for v in self.values)
         object.__setattr__(self, "labels", labels)
+        issues = self.problems()
+        if issues:
+            raise ValueError("; ".join(issues))
+
+    def problems(self) -> List[str]:
+        issues: List[str] = []
         if not self.path:
-            raise ValueError("axis path must be non-empty")
+            issues.append("axis path must be non-empty")
         if not self.values:
-            raise ValueError(f"axis {self.path!r} has no values")
+            issues.append(f"axis {self.path!r} has no values")
         if len(self.labels) != len(self.values):
-            raise ValueError(f"axis {self.path!r}: one label per value required")
+            issues.append(f"axis {self.path!r}: one label per value required")
+        return issues
 
     def as_dict(self) -> Dict:
         return {

@@ -132,6 +132,7 @@ class Job:
     def _elapsed_locked(self) -> Optional[float]:
         if self.started_at is None:
             return None
+        # repro: allow[DET001] -- wall-clock wait age shown to clients
         end = self.finished_at if self.finished_at is not None else time.time()
         return round(end - self.started_at, 3)
 
@@ -275,6 +276,7 @@ class JobManager:
                     f"job queue is full ({queued} queued, "
                     f"capacity {self.config.capacity})"
                 )
+            # repro: allow[DET001] -- wall-clock submit timestamp, client-facing
             job.submitted_at = time.time()
             # share the manager lock so job views and lifecycle
             # commits serialise on the same monitor.
@@ -336,6 +338,7 @@ class JobManager:
             if job.status == JobStates.QUEUED:
                 # never started: nothing partial to keep.
                 job.status = JobStates.CANCELLED
+                # repro: allow[DET001] -- wall-clock finish timestamp, client-facing
                 job.finished_at = time.time()
         return job
 
@@ -362,6 +365,7 @@ class JobManager:
             if job.finished:
                 return
             job.status = JobStates.RUNNING
+            # repro: allow[DET001] -- wall-clock start timestamp, client-facing
             job.started_at = time.time()
         try:
             if job.kind == "scenario":
@@ -381,6 +385,7 @@ class JobManager:
         with self._lock:
             job.error = error_view if status == JobStates.FAILED else job.error
             job.status = status
+            # repro: allow[DET001] -- wall-clock finish timestamp, client-facing
             job.finished_at = time.time()
 
     def _run_scenario_job(self, job: Job) -> bool:

@@ -1,0 +1,593 @@
+"""The determinism/concurrency linter: engine, pragmas, all five rules.
+
+Every rule gets firing and non-firing fixture snippets, the pragma
+grammar gets a hypothesis round-trip, and the two acceptance-critical
+mutations are demonstrated against the *real* sources: deleting any
+``__reduce__`` from ``repro.tune.errors`` makes PKL001 fire, and moving
+one ``Job`` write outside the lock makes LOCK001 fire.
+"""
+
+import ast
+import pickle
+import textwrap
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ALL_RULE_IDS,
+    ALL_RULES,
+    PRAGMA_RULE,
+    RULES_BY_ID,
+    ModuleIndex,
+    SourceModule,
+    UnknownRule,
+    format_pragma,
+    module_name_for,
+    run_lint,
+    run_rules,
+    select_rules,
+)
+from repro.analysis.pragmas import extract_pragmas
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def lint_source(
+    source,
+    *,
+    name="repro.scenarios.fixture",
+    rules=None,
+    check_unused=False,
+    path="fixture.py",
+):
+    """Lint one in-memory fixture module; returns the findings tuple."""
+    module = SourceModule.from_source(
+        textwrap.dedent(source), name=name, path=path
+    )
+    index = ModuleIndex([module])
+    selected = [RULES_BY_ID[r] for r in rules] if rules else list(ALL_RULES)
+    return run_rules(
+        index,
+        selected,
+        all_rule_ids=ALL_RULE_IDS,
+        check_unused_pragmas=check_unused,
+    ).findings
+
+
+def rules_fired(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestEngine:
+    def test_module_name_anchors_on_repro(self):
+        assert (
+            module_name_for(Path("src/repro/scenarios/spec.py"))
+            == "repro.scenarios.spec"
+        )
+        assert module_name_for(Path("src/repro/__init__.py")) == "repro"
+        assert module_name_for(Path("/tmp/fixture.py")) == "fixture"
+
+    def test_import_resolution_aliases_and_relatives(self):
+        module = SourceModule.from_source(
+            textwrap.dedent(
+                """
+                import numpy as np
+                import os.path
+                from datetime import datetime as dt
+                from ..workloads.spec import rng_for
+                """
+            ),
+            name="repro.scenarios.fixture",
+        )
+        assert module.imports["np"] == "numpy"
+        assert module.imports["os"] == "os"
+        assert module.imports["dt"] == "datetime.datetime"
+        assert module.imports["rng_for"] == "repro.workloads.spec.rng_for"
+
+    def test_resolve_ignores_local_shadows(self):
+        module = SourceModule.from_source(
+            "random = object()\nx = random.random()\n", name="repro.fixture"
+        )
+        call = module.tree.body[1].value.func  # the `random.random` Attribute
+        assert module.resolve(call) is None
+
+    def test_select_rules_rejects_unknown(self):
+        with pytest.raises(UnknownRule, match="BOGUS"):
+            select_rules(["DET001", "BOGUS"])
+        error = pickle.loads(pickle.dumps(UnknownRule("X", ("DET001",))))
+        assert error.rule_id == "X"
+
+    def test_findings_are_sorted_and_rendered(self):
+        findings = lint_source(
+            """
+            import time
+            a = time.time()
+            b = time.time_ns()
+            """
+        )
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+        rendered = findings[0].render()
+        assert rendered.startswith("fixture.py:")
+        assert "DET001" in rendered
+
+
+class TestPragmas:
+    @given(
+        rules=st.lists(
+            st.sampled_from(ALL_RULE_IDS), min_size=1, max_size=3, unique=True
+        ),
+        reason=st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz0123456789 -",
+            min_size=1,
+            max_size=40,
+        ).filter(lambda s: s.strip()),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip(self, rules, reason):
+        comment = format_pragma(tuple(rules), reason)
+        pragmas, malformed = extract_pragmas(f"x = 1  {comment}\n", "f.py")
+        assert not malformed
+        assert len(pragmas) == 1
+        assert pragmas[0].rules == tuple(rules)
+        assert pragmas[0].reason == reason.strip()
+        assert pragmas[0].target == 1
+
+    def test_trailing_pragma_suppresses(self):
+        findings = lint_source(
+            """
+            import time
+            t = time.time()  # repro: allow[DET001] -- fixture wall clock
+            """
+        )
+        assert findings == ()
+
+    def test_standalone_pragma_covers_next_code_line(self):
+        findings = lint_source(
+            """
+            import time
+            # repro: allow[DET001] -- fixture wall clock
+            t = time.time()
+            """
+        )
+        assert findings == ()
+
+    def test_pragma_without_reason_is_malformed(self):
+        findings = lint_source(
+            """
+            import time
+            t = time.time()  # repro: allow[DET001]
+            """
+        )
+        assert PRAGMA_RULE in rules_fired(findings)
+        assert "DET001" in rules_fired(findings)  # not suppressed either
+
+    def test_pragma_in_string_literal_is_inert(self):
+        findings = lint_source(
+            """
+            import time
+            s = "# repro: allow[DET001] -- not a real pragma"
+            t = time.time()
+            """
+        )
+        assert rules_fired(findings) == ["DET001"]
+
+    def test_unknown_rule_id_in_pragma(self):
+        findings = lint_source(
+            "x = 1  # repro: allow[NOPE001] -- typo\n", check_unused=True
+        )
+        assert any(
+            f.rule == PRAGMA_RULE and "NOPE001" in f.message for f in findings
+        )
+
+    def test_unused_pragma_flagged_on_full_runs_only(self):
+        source = "x = 1  # repro: allow[DET001] -- nothing to suppress\n"
+        full = lint_source(source, check_unused=True)
+        assert any(
+            f.rule == PRAGMA_RULE and "unused" in f.message for f in full
+        )
+        subset = lint_source(source, rules=["PKL001"], check_unused=False)
+        assert subset == ()
+
+
+class TestDet001:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import time\nx = time.time()\n",
+            "import time\nx = time.time_ns()\n",
+            "from time import time\nx = time()\n",
+            "import os\nx = os.urandom(8)\n",
+            "import numpy as np\nr = np.random.default_rng(0)\n",
+            "from numpy.random import default_rng\nr = default_rng(0)\n",
+            "import numpy as np\nnp.random.seed(0)\n",
+            "import random\n",
+            "import uuid\n",
+            "from datetime import datetime\nx = datetime.now()\n",
+        ],
+    )
+    def test_fires(self, snippet):
+        assert "DET001" in rules_fired(lint_source(snippet, rules=["DET001"]))
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import time\nx = time.perf_counter()\n",
+            "import time\nx = time.monotonic()\n",
+            "import numpy as np\ng = np.random.Generator(np.random.Philox(key=1))\n",
+            "import numpy as np\ns = np.random.SeedSequence(7)\n",
+            "random = object()\nx = random.random()\n",  # local shadow
+            "from datetime import timedelta\nx = timedelta(1)\n",
+        ],
+    )
+    def test_clean(self, snippet):
+        assert lint_source(snippet, rules=["DET001"]) == ()
+
+    def test_reports_once_per_chain(self):
+        findings = lint_source(
+            "import numpy as np\nr = np.random.default_rng(0)\n",
+            rules=["DET001"],
+        )
+        assert len(findings) == 1
+
+
+class TestDet002:
+    def test_id_in_key_fires(self):
+        findings = lint_source(
+            """
+            from repro.workloads.spec import rng_for
+            def f(spec):
+                return rng_for("noise", id(spec))
+            """,
+            rules=["DET002"],
+        )
+        assert rules_fired(findings) == ["DET002"]
+        assert "id()" in findings[0].message
+
+    def test_hash_in_key_fires(self):
+        findings = lint_source(
+            """
+            from repro.workloads.spec import rng_for
+            def f(name):
+                return rng_for("noise", hash(name))
+            """,
+            rules=["DET002"],
+        )
+        assert any("hash()" in f.message for f in findings)
+
+    def test_enumerate_counter_fires(self):
+        findings = lint_source(
+            """
+            from repro.workloads.spec import rng_for
+            def f(trials):
+                for i, trial in enumerate(trials):
+                    yield rng_for("epoch", i)
+            """,
+            rules=["DET002"],
+        )
+        assert any("enumerate counter" in f.message for f in findings)
+
+    def test_bound_spec_rng_method_is_covered(self):
+        findings = lint_source(
+            """
+            def f(spec, x):
+                return spec.rng("noise", id(x))
+            """,
+            rules=["DET002"],
+        )
+        assert rules_fired(findings) == ["DET002"]
+
+    def test_stable_keys_clean(self):
+        findings = lint_source(
+            """
+            from repro.workloads.spec import rng_for
+            def f(spec, trial):
+                for trial_id in trial.ids:
+                    yield rng_for("epoch", repr(spec), trial_id, trial.attempt)
+            """,
+            rules=["DET002"],
+        )
+        assert findings == ()
+
+
+class TestPkl001:
+    FIXTURE = """
+    class AppError(Exception):
+        pass
+
+    class TwoArg(AppError):
+        def __init__(self, a, b):
+            self.a, self.b = a, b
+            super().__init__(f"{a}: {b}")
+    """
+
+    def test_multi_arg_without_reduce_fires(self):
+        findings = lint_source(
+            self.FIXTURE, name="repro.tune.fixture", rules=["PKL001"]
+        )
+        assert rules_fired(findings) == ["PKL001"]
+        assert "TwoArg" in findings[0].message
+
+    def test_reduce_makes_it_clean(self):
+        findings = lint_source(
+            self.FIXTURE
+            + textwrap.indent(
+                "\ndef __reduce__(self):\n    return type(self), (self.a, self.b)\n",
+                "        ",  # survives the fixture-wide dedent at class depth
+            ),
+            name="repro.tune.fixture",
+            rules=["PKL001"],
+        )
+        assert findings == ()
+
+    def test_single_arg_and_varargs_clean(self):
+        findings = lint_source(
+            """
+            class OneArg(ValueError):
+                def __init__(self, message):
+                    super().__init__(message)
+
+            class Star(ValueError):
+                def __init__(self, *args):
+                    super().__init__(*args)
+            """,
+            name="repro.scenarios.fixture",
+            rules=["PKL001"],
+        )
+        assert findings == ()
+
+    def test_non_exception_class_ignored(self):
+        findings = lint_source(
+            """
+            class Plain:
+                def __init__(self, a, b):
+                    self.a, self.b = a, b
+            """,
+            name="repro.tune.fixture",
+            rules=["PKL001"],
+        )
+        assert findings == ()
+
+    def test_out_of_scope_package_ignored(self):
+        findings = lint_source(
+            self.FIXTURE, name="repro.hpo.fixture", rules=["PKL001"]
+        )
+        assert findings == ()
+
+
+class TestLock001:
+    def test_unlocked_write_fires(self):
+        findings = lint_source(
+            """
+            class Job:
+                def poke(self):
+                    self.status = "poked"
+            """,
+            name="repro.service.jobs",
+            rules=["LOCK001"],
+        )
+        assert rules_fired(findings) == ["LOCK001"]
+
+    def test_locked_write_clean(self):
+        findings = lint_source(
+            """
+            class Job:
+                def poke(self):
+                    with self.lock:
+                        self.status = "poked"
+
+            class JobManager:
+                def close(self):
+                    with self._lock:
+                        self._closed = True
+                        for job in self._jobs:
+                            job.status = "cancelled"
+            """,
+            name="repro.service.jobs",
+            rules=["LOCK001"],
+        )
+        assert findings == ()
+
+    def test_init_exempt_but_augassign_guarded(self):
+        findings = lint_source(
+            """
+            class JobManager:
+                def __init__(self):
+                    self._jobs = {}
+                def bump(self):
+                    self._count += 1
+            """,
+            name="repro.service.jobs",
+            rules=["LOCK001"],
+        )
+        assert len(findings) == 1
+        assert "_count" in findings[0].message
+
+    def test_non_lock_with_does_not_count(self):
+        findings = lint_source(
+            """
+            class Job:
+                def save(self, path):
+                    with open(path) as fh:
+                        self.status = fh.read()
+            """,
+            name="repro.service.jobs",
+            rules=["LOCK001"],
+        )
+        assert rules_fired(findings) == ["LOCK001"]
+
+    def test_other_modules_out_of_scope(self):
+        findings = lint_source(
+            "class Job:\n    def poke(self):\n        self.status = 1\n",
+            name="repro.service.queue",
+            rules=["LOCK001"],
+        )
+        assert findings == ()
+
+
+class TestSchema001:
+    LOOSE = """
+    from dataclasses import dataclass
+
+    @dataclass
+    class ThingSpec:
+        a: int = 0
+
+        @classmethod
+        def from_dict(cls, data):
+            return cls(**dict(data))
+    """
+
+    def test_loose_from_dict_fires_twice(self):
+        findings = lint_source(
+            self.LOOSE, name="repro.scenarios.fixture", rules=["SCHEMA001"]
+        )
+        assert rules_fired(findings) == ["SCHEMA001"]
+        messages = " | ".join(f.message for f in findings)
+        assert "strict_from_dict" in messages
+        assert "problems()" in messages
+
+    def test_strict_spec_clean(self):
+        findings = lint_source(
+            """
+            from dataclasses import dataclass
+            from repro.scenarios.schema import strict_from_dict
+
+            @dataclass
+            class ThingSpec:
+                a: int = 0
+
+                def problems(self):
+                    return []
+
+                @classmethod
+                def from_dict(cls, data):
+                    return strict_from_dict(cls, data, "thing")
+            """,
+            name="repro.scenarios.fixture",
+            rules=["SCHEMA001"],
+        )
+        assert findings == ()
+
+    def test_non_dataclass_and_out_of_scope_ignored(self):
+        plain = textwrap.dedent(self.LOOSE).replace("@dataclass\n", "")
+        assert (
+            lint_source(
+                plain, name="repro.scenarios.fixture", rules=["SCHEMA001"]
+            )
+            == ()
+        )
+        assert (
+            lint_source(
+                self.LOOSE, name="repro.workloads.fixture", rules=["SCHEMA001"]
+            )
+            == ()
+        )
+
+
+class TestTreeIsClean:
+    def test_full_tree_zero_findings(self):
+        result = run_lint()
+        assert result.findings == (), "\n".join(
+            f.render() for f in result.findings
+        )
+        assert result.files > 90
+        assert result.suppressed >= 13  # the audited wall-clock allowlist
+
+    def test_rule_subset_also_clean(self):
+        for rule_id in ALL_RULE_IDS:
+            assert run_lint(rules=[rule_id]).findings == ()
+
+
+class TestMutations:
+    """Deleting a fix re-introduces the finding — the lint is load-bearing."""
+
+    def test_deleting_any_reduce_breaks_pkl001(self):
+        source = (SRC / "tune" / "errors.py").read_text(encoding="utf-8")
+        tree = ast.parse(source)
+        reduces = [
+            item
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef)
+            for item in node.body
+            if isinstance(item, ast.FunctionDef) and item.name == "__reduce__"
+        ]
+        assert reduces, "tune.errors lost its __reduce__ definitions?"
+        for target in reduces:
+            lines = source.splitlines(keepends=True)
+            del lines[target.lineno - 1 : target.end_lineno]
+            findings = lint_source(
+                "".join(lines), name="repro.tune.errors", rules=["PKL001"]
+            )
+            assert "PKL001" in rules_fired(findings)
+
+    def test_moving_job_write_outside_lock_breaks_lock001(self):
+        source = (SRC / "service" / "jobs.py").read_text(encoding="utf-8")
+        assert (
+            lint_source(source, name="repro.service.jobs", rules=["LOCK001"])
+            == ()
+        )
+        tree = ast.parse(source)
+        job = next(
+            node
+            for node in tree.body
+            if isinstance(node, ast.ClassDef) and node.name == "Job"
+        )
+        lines = source.splitlines(keepends=True)
+        lines.insert(
+            job.end_lineno,
+            "    def rogue(self):\n        self.status = 'rogue'\n",
+        )
+        findings = lint_source(
+            "".join(lines), name="repro.service.jobs", rules=["LOCK001"]
+        )
+        assert rules_fired(findings) == ["LOCK001"]
+        assert "status" in findings[0].message
+
+    def test_stripping_a_pragma_breaks_det001(self):
+        source = (SRC / "scenarios" / "cache.py").read_text(encoding="utf-8")
+        stripped = "".join(
+            line
+            for line in source.splitlines(keepends=True)
+            if "# repro: allow[" not in line
+        )
+        findings = lint_source(
+            stripped, name="repro.scenarios.cache", rules=["DET001"]
+        )
+        assert "DET001" in rules_fired(findings)
+
+
+class TestPickleRegressions:
+    """The three multi-arg exceptions PKL001 surfaced now round-trip."""
+
+    def test_scenario_error(self):
+        from repro.scenarios.spec import ScenarioError
+
+        error = ScenarioError("fig11", ["bad cluster", "bad policy"])
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.scenario == "fig11"
+        assert clone.problems == ["bad cluster", "bad policy"]
+        assert str(clone) == str(error)
+
+    def test_sweep_error(self):
+        from repro.scenarios.sweep import SweepError
+
+        error = SweepError("fault-intensity", ["axis empty"])
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.sweep == "fault-intensity"
+        assert clone.problems == ["axis empty"]
+
+    def test_step_execution_error(self):
+        from repro.scenarios.containment import StepExecutionError
+
+        original = ValueError("boom")
+        error = StepExecutionError("fig11", 2, 1, "warm-start", original)
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.scenario == "fig11"
+        assert clone.chain_index == 2
+        assert clone.step_index == 1
+        assert clone.step_label == "warm-start"
+        assert isinstance(clone.original, ValueError)
+        assert str(clone) == str(error)

@@ -346,3 +346,52 @@ class TestEnvelope:
             assert envelope["data"]["result"] is not None
         finally:
             SCENARIO_REGISTRY.pop(name, None)
+
+
+class TestLint:
+    def test_lint_clean_tree_exit_zero(self, capsys):
+        assert main(["lint"]) == 0
+        err = capsys.readouterr().err
+        assert "0 findings" in err
+
+    def test_lint_json_envelope_on_clean_tree(self, capsys):
+        assert main(["lint", "--json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True
+        assert envelope["error"] is None
+        assert envelope["data"]["findings"] == []
+        assert envelope["data"]["suppressed"] >= 13
+
+    def test_lint_unknown_rule_typed_error(self, capsys):
+        assert main(["lint", "--rule", "BOGUS", "--json"]) == 2
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is False
+        assert envelope["error"]["type"] == "UnknownRule"
+        assert "BOGUS" in envelope["error"]["message"]
+
+    def test_lint_findings_envelope_exit_one(self, capsys, tmp_path):
+        bad = tmp_path / "repro" / "scenarios" / "fixture.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nx = time.time()\n", encoding="utf-8")
+        assert main(["lint", "--paths", str(bad), "--json"]) == 1
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is False
+        assert envelope["error"]["type"] == "LintFindings"
+        findings = envelope["data"]["findings"]
+        assert len(findings) == 1  # importing time is fine; calling time() is not
+        assert {f["rule"] for f in findings} == {"DET001"}
+        assert findings[-1]["line"] == 2
+        assert findings[-1]["path"] == str(bad)
+
+    def test_lint_text_output_renders_locations(self, capsys, tmp_path):
+        bad = tmp_path / "fixture.py"
+        bad.write_text("import uuid\n", encoding="utf-8")
+        assert main(["lint", "--paths", str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert f"{bad}:1:0: DET001" in captured.out
+        assert "1 finding" in captured.err
+
+    def test_lint_rule_subset(self, capsys, tmp_path):
+        bad = tmp_path / "fixture.py"
+        bad.write_text("import uuid\n", encoding="utf-8")
+        assert main(["lint", "--paths", str(bad), "--rule", "PKL001"]) == 0

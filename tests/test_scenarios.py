@@ -552,3 +552,58 @@ class TestNovelScenarios:
         # OOM injection bites the memory-gambling V2 baseline.
         assert by_system["tune-v2"]["failed_trials"] > 0
         assert all(row["response_s"] > 0 for row in result.rows)
+
+
+class TestStrictSpecSchemas:
+    """Every nested spec now rejects unknown keys by name (SCHEMA001)."""
+
+    def test_cluster_spec_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match=r"unknown cluster field.*nodez"):
+            ClusterSpec.from_dict({"nodez": 4})
+
+    def test_algorithm_spec_rejects_unknown_keys(self):
+        # Before SCHEMA001 this key was *silently dropped*.
+        with pytest.raises(ValueError, match=r"unknown algorithm field.*parms"):
+            AlgorithmSpec.from_dict({"name": "asha", "parms": {"eta": 3}})
+
+    def test_system_policy_spec_rejects_unknown_keys(self):
+        from repro.scenarios import SystemPolicySpec
+
+        with pytest.raises(
+            ValueError, match=r"unknown system policy field.*contentn"
+        ):
+            SystemPolicySpec.from_dict({"kind": "v1", "contentn": 2.0})
+
+    def test_tenancy_spec_rejects_unknown_keys(self):
+        from repro.scenarios import TenancySpec
+
+        with pytest.raises(ValueError, match=r"unknown tenancy field.*modee"):
+            TenancySpec.from_dict({"modee": "shared"})
+
+    def test_nested_specs_expose_problems(self):
+        from repro.scenarios import SystemPolicySpec, TenancySpec
+
+        assert ClusterSpec().problems() == []
+        assert AlgorithmSpec(name="nope").problems() != []
+        assert SystemPolicySpec(kind="v1").problems() == []
+        bad = SystemPolicySpec(kind="v1", warm_start="nope", contention=0.5)
+        issues = bad.problems("policy 'p'")
+        assert any("warm_start" in issue for issue in issues)
+        assert any("contention" in issue for issue in issues)
+        shared = TenancySpec(mode="shared", mean_interarrival_s=0.0)
+        assert any("mean_interarrival_s" in p for p in shared.problems())
+
+    def test_algorithm_round_trip_still_canonicalises_params(self):
+        spec = AlgorithmSpec.from_dict(
+            {"name": "hyperband", "params": {"max_epochs": 9, "eta": 3}}
+        )
+        assert spec.params == (("eta", 3), ("max_epochs", 9))
+        assert AlgorithmSpec.from_dict(spec.as_dict()) == spec
+
+    def test_sweep_axis_problems_and_joined_raise(self):
+        from repro.scenarios.sweep import SweepAxis
+
+        axis = SweepAxis("cluster.nodes", (1, 2, 4))
+        assert axis.problems() == []
+        with pytest.raises(ValueError, match="no values"):
+            SweepAxis("cluster.nodes", ())
