@@ -26,7 +26,7 @@ from repro.simulation.des import Environment
 from repro.tsdb.point import Point
 from repro.tsdb.store import TimeSeriesStore
 from repro.tune.trainer import run_trial
-from repro.workloads.perfmodel import epoch_time
+from repro.workloads.perfmodel import clear_cost_caches, epoch_cost_batch, epoch_time
 from repro.workloads.registry import LENET_MNIST
 from repro.workloads.spec import (
     HyperParams,
@@ -136,6 +136,49 @@ def test_rng_construction(benchmark, constructor):
 
     total = benchmark(run)
     assert 0.0 < total < 200.0
+
+
+def test_epoch_noise_block(benchmark):
+    """Cold-path cost of the draw-ahead layer: a fresh noise block plus
+    one batched 30-epoch cost synthesis per round. ``clear_cost_caches``
+    runs inside the timed region, so the measurement is construction +
+    the vectorized draw — the work a trial's first epoch pays — rather
+    than a cache-hit no-op."""
+    config = TrialConfig(
+        LENET_MNIST, HyperParams(batch_size=64), SystemParams(cores=8, memory_gb=16.0)
+    )
+
+    def run():
+        clear_cost_caches()
+        return epoch_cost_batch(config, range(30)).total_s.sum()
+
+    assert benchmark(run) > 0
+
+
+def test_trainer_batched_runout(benchmark):
+    """The coalesced run-out consuming ``epoch_cost_batch`` from cold
+    caches every round: the trial-level shape of the batched draw-ahead
+    path (one stream per kind, one vector synthesis, cumsum schedule),
+    as opposed to ``test_trainer_runout``'s steady-state warm run."""
+
+    def run():
+        clear_cost_caches()
+        env = Environment()
+        cluster = SimCluster(env, [NodeSpec(name="n0", cores=16, memory_gb=64.0)])
+        process = env.process(
+            run_trial(
+                env=env,
+                cluster=cluster,
+                trial_id="bench-batched-runout",
+                workload=LENET_MNIST,
+                hyper=HyperParams(batch_size=64, epochs=30),
+                system=SystemParams(cores=8, memory_gb=16.0),
+            )
+        )
+        env.run()
+        return process.value.epochs_run
+
+    assert benchmark(run) == 30
 
 
 def test_kmeans_fit(benchmark):

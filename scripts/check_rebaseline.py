@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Guard the coordinated-re-baseline contract on golden-trace changes.
+
+The committed golden traces (``benchmarks/results/*.txt``) and the
+outcome cache share one version axis: ``CODE_VERSION`` in
+``src/repro/scenarios/cache.py`` is the salt mixed into every cache
+chain key. A change that rewrites the goldens necessarily changed what
+some step computes, so cache entries written by the old code are stale
+— but they would still *hit* unless the salt moved. This script fails
+any diff that touches a committed golden trace without also bumping
+``CODE_VERSION``, making "regenerate goldens + bump the salt" one
+atomic, enforced gesture (benchmarks/README, "Determinism contract &
+re-baseline procedure").
+
+The inverse case — a salt bump with no golden change — is reported as
+a warning only: it costs one cold cache refill and cannot replay stale
+bytes, so it is wasteful rather than wrong.
+
+Usage:
+    python scripts/check_rebaseline.py                  # base origin/main
+    python scripts/check_rebaseline.py --base main~1
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CACHE_MODULE = "src/repro/scenarios/cache.py"
+GOLDEN_DIR = "benchmarks/results/"
+VERSION_RE = re.compile(r'^CODE_VERSION\s*=\s*"([^"]+)"', re.MULTILINE)
+
+
+def _git(*args: str) -> str:
+    return subprocess.check_output(
+        ["git", *args], cwd=REPO_ROOT, text=True, stderr=subprocess.STDOUT
+    )
+
+
+def _code_version(source: str, origin: str) -> str:
+    match = VERSION_RE.search(source)
+    if not match:
+        raise SystemExit(f"error: no CODE_VERSION assignment found in {origin}")
+    return match.group(1)
+
+
+def changed_paths(base: str) -> list[str]:
+    """Paths changed between ``base`` and the working tree.
+
+    ``git diff base`` covers committed, staged and unstaged changes at
+    once — exactly what a pre-push run or a CI checkout of a PR head
+    needs to see.
+    """
+    out = _git("diff", "--name-only", base, "--")
+    return [line for line in out.splitlines() if line.strip()]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--base",
+        default="origin/main",
+        help="ref to diff against (default: origin/main)",
+    )
+    args = parser.parse_args()
+
+    try:
+        base = _git("rev-parse", "--verify", args.base).strip()
+    except subprocess.CalledProcessError:
+        print(
+            f"error: base ref {args.base!r} not found — fetch it first "
+            "(CI: actions/checkout with fetch-depth: 0)",
+            file=sys.stderr,
+        )
+        return 2
+
+    paths = changed_paths(base)
+    goldens = sorted(p for p in paths if p.startswith(GOLDEN_DIR))
+
+    base_version = _code_version(
+        _git("show", f"{base}:{CACHE_MODULE}"), f"{args.base}:{CACHE_MODULE}"
+    )
+    with open(os.path.join(REPO_ROOT, CACHE_MODULE)) as handle:
+        head_version = _code_version(handle.read(), CACHE_MODULE)
+    bumped = head_version != base_version
+
+    if goldens and not bumped:
+        print(
+            f"error: {len(goldens)} committed golden trace(s) changed vs "
+            f"{args.base} but CODE_VERSION is still {head_version!r}:",
+            file=sys.stderr,
+        )
+        for path in goldens:
+            print(f"  {path}", file=sys.stderr)
+        print(
+            "\nA golden change means some step now computes different "
+            "bytes; outcome-cache entries keyed by the old code would "
+            f"still hit. Bump CODE_VERSION in {CACHE_MODULE} in the same "
+            "commit (see benchmarks/README, re-baseline procedure).",
+            file=sys.stderr,
+        )
+        return 1
+
+    if bumped and not goldens:
+        print(
+            f"warning: CODE_VERSION bumped ({base_version!r} -> "
+            f"{head_version!r}) without any golden-trace change — the "
+            "bump costs a cold cache refill; drop it unless step "
+            "outputs really changed."
+        )
+        return 0
+
+    if goldens:
+        print(
+            f"ok: {len(goldens)} golden trace(s) changed with CODE_VERSION "
+            f"{base_version!r} -> {head_version!r}"
+        )
+    else:
+        print(f"ok: no golden-trace changes vs {args.base}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

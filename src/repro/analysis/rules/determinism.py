@@ -12,6 +12,15 @@ stable identities (literals, spec reprs, trial/attempt ids) — never
 process-salted values like ``id()``/``hash()`` or draw-order-shaped
 counters from ``enumerate``/``next``, which would silently rekey
 streams between runs or worker layouts.
+
+The batched draw-ahead entry points (``noise_block``/``noise_matrix``
+and their classes, ``epoch_cost_batch``) carry an extra invariant: the
+epoch is a *position* in the block's stream, never part of its key.  A
+loop index leaking into a block key silently falls back to
+one-stream-per-epoch — the exact call shape the blocks exist to
+remove — so DET002 flags any for-loop-bound name inside a block key.
+``epoch_cost_batch``'s arguments are exempt from the index checks
+(indices are the point there) but still must not be process-salted.
 """
 
 from __future__ import annotations
@@ -156,30 +165,63 @@ class RngKeyHygiene(Rule):
         "silently rekey streams between runs"
     )
 
+    #: draw-ahead block constructors -> leading non-key arguments
+    #: (sigma, and for matrices the row width) that are scales/shapes,
+    #: not stream identity.
+    BLOCK_CONSTRUCTORS: Dict[str, int] = {
+        "noise_block": 1,
+        "NoiseBlock": 1,
+        "noise_matrix": 2,
+        "NoiseMatrix": 2,
+    }
+
+    #: batched synthesis entry points: their arguments carry epoch
+    #: *indices* by design, so only the process-salt checks apply.
+    BATCH_CONSTRUCTORS: Tuple[str, ...] = ("epoch_cost_batch",)
+
     def check(self, module: SourceModule, index: ModuleIndex) -> Iterable[Finding]:
         counters = _enumerate_counters(module.tree)
+        loop_names = _loop_index_names(module.tree)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
-            if not self._is_rng_constructor(module, node.func):
+            classified = self._constructor_kind(module, node.func)
+            if classified is None:
                 continue
-            key_args = list(node.args) + [kw.value for kw in node.keywords]
+            kind, skip = classified
+            key_args = list(node.args)[skip:] + [kw.value for kw in node.keywords]
             for arg in key_args:
-                yield from self._check_key_part(module, arg, counters)
+                if kind == "rng":
+                    yield from self._check_key_part(module, arg, counters)
+                elif kind == "block":
+                    yield from self._check_block_key_part(module, arg, loop_names)
+                else:  # batch
+                    yield from self._check_salted_calls(module, arg, "batch argument")
 
-    @staticmethod
-    def _is_rng_constructor(module: SourceModule, func: ast.AST) -> bool:
+    @classmethod
+    def _constructor_kind(
+        cls, module: SourceModule, func: ast.AST
+    ) -> Tuple[str, int] | None:
+        """Classify a call target: ('rng'|'block'|'batch', args to skip)."""
         origin = module.resolve(func)
-        if origin is not None and (
-            origin == "rng_for" or origin.endswith(".rng_for")
-        ):
-            return True
-        if isinstance(func, ast.Name) and func.id == "rng_for":
-            return True
+        if origin is not None:
+            name = origin.rsplit(".", 1)[-1]
+        elif isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        else:
+            return None
+        if name == "rng_for":
+            return ("rng", 0)
         # spec.rng(*parts) — WorkloadSpec's bound stream constructor.
-        if isinstance(func, ast.Attribute) and func.attr in ("rng", "rng_for"):
-            return True
-        return False
+        if name == "rng" and isinstance(func, ast.Attribute):
+            return ("rng", 0)
+        if name in cls.BLOCK_CONSTRUCTORS:
+            return ("block", cls.BLOCK_CONSTRUCTORS[name])
+        if name in cls.BATCH_CONSTRUCTORS:
+            return ("batch", 0)
+        return None
 
     def _check_key_part(
         self,
@@ -187,30 +229,9 @@ class RngKeyHygiene(Rule):
         part: ast.AST,
         counters: Dict[int, Set[str]],
     ) -> Iterator[Finding]:
+        yield from self._check_salted_calls(module, part, "rng key part")
         for node in ast.walk(part):
-            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-                if node.func.id == "id":
-                    yield self.finding(
-                        module,
-                        node,
-                        "rng key part calls id() — process-salted, not a "
-                        "stable identity; key on reprs or declared ids",
-                    )
-                elif node.func.id == "hash":
-                    yield self.finding(
-                        module,
-                        node,
-                        "rng key part calls hash() — PYTHONHASHSEED-salted "
-                        "for str/bytes; use stable_seed on reprs instead",
-                    )
-                elif node.func.id == "next":
-                    yield self.finding(
-                        module,
-                        node,
-                        "rng key part calls next() — draw-order-shaped keys "
-                        "rekey streams when execution order changes",
-                    )
-            elif isinstance(node, ast.Name):
+            if isinstance(node, ast.Name):
                 scopes = counters.get(node.lineno, set())
                 if node.id in scopes:
                     yield self.finding(
@@ -219,6 +240,53 @@ class RngKeyHygiene(Rule):
                         f"rng key part {node.id!r} is an enumerate counter — "
                         "draw-order-shaped; key on the item's own identity",
                     )
+
+    def _check_block_key_part(
+        self,
+        module: SourceModule,
+        part: ast.AST,
+        loop_names: Dict[int, Set[str]],
+    ) -> Iterator[Finding]:
+        yield from self._check_salted_calls(module, part, "noise-block key part")
+        for node in ast.walk(part):
+            if isinstance(node, ast.Name):
+                scopes = loop_names.get(node.lineno, set())
+                if node.id in scopes:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"noise-block key part {node.id!r} is a loop index — "
+                        "the epoch is a position in the block's stream, not "
+                        "part of its key; index into the block instead",
+                    )
+
+    def _check_salted_calls(
+        self, module: SourceModule, part: ast.AST, what: str
+    ) -> Iterator[Finding]:
+        for node in ast.walk(part):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+                continue
+            if node.func.id == "id":
+                yield self.finding(
+                    module,
+                    node,
+                    f"{what} calls id() — process-salted, not a "
+                    "stable identity; key on reprs or declared ids",
+                )
+            elif node.func.id == "hash":
+                yield self.finding(
+                    module,
+                    node,
+                    f"{what} calls hash() — PYTHONHASHSEED-salted "
+                    "for str/bytes; use stable_seed on reprs instead",
+                )
+            elif node.func.id == "next":
+                yield self.finding(
+                    module,
+                    node,
+                    f"{what} calls next() — draw-order-shaped keys "
+                    "rekey streams when execution order changes",
+                )
 
 
 def _enumerate_counters(tree: ast.Module) -> Dict[int, Set[str]]:
@@ -251,4 +319,38 @@ def _enumerate_counters(tree: ast.Module) -> Dict[int, Set[str]]:
         end = node.end_lineno or node.lineno
         for line in range(node.lineno, end + 1):
             live.setdefault(line, set()).add(counter.id)
+    return live
+
+
+def _loop_index_names(tree: ast.Module) -> Dict[int, Set[str]]:
+    """Map line -> names bound as for-loop targets visible there.
+
+    Same lexical approximation as :func:`_enumerate_counters`, but over
+    *every* for loop (not just ``enumerate``): a per-epoch loop variable
+    is exactly what must not leak into a draw-ahead block's key,
+    whatever iterable produced it.
+    """
+
+    def target_names(target: ast.AST) -> List[str]:
+        if isinstance(target, ast.Name):
+            return [target.id]
+        if isinstance(target, ast.Tuple):
+            return [elt.id for elt in target.elts if isinstance(elt, ast.Name)]
+        return []
+
+    live: Dict[int, Set[str]] = {}
+    for node in ast.walk(tree):
+        names: List[str] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            names = target_names(node.target)
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            for comp in node.generators:
+                names.extend(target_names(comp.target))
+        if not names:
+            continue
+        end = node.end_lineno or node.lineno
+        for line in range(node.lineno, end + 1):
+            live.setdefault(line, set()).update(names)
     return live

@@ -21,8 +21,9 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..workloads.noise import noise_matrix
 from ..workloads.perfmodel import memory_penalty
-from ..workloads.spec import TrialConfig, rng_for
+from ..workloads.spec import TrialConfig
 from .events import (
     EVENT_NAMES,
     FIXED_COUNTER_EVENTS,
@@ -94,8 +95,15 @@ def true_counts(
     core_seconds = duration_s * max(0.0, busy_cores)
     counts = signature * core_seconds * _modifier_vector(config)
     if noisy:
-        rng = config.workload.rng("pmu-noise", config.hyper, config.system, epoch)
-        counts *= np.exp(rng.normal(0.0, 0.03, size=NUM_EVENTS))
+        block = noise_matrix(
+            0.03,
+            NUM_EVENTS,
+            config.workload.name,
+            "pmu-noise",
+            config.hyper,
+            config.system,
+        )
+        counts *= np.exp(block.row(epoch))
     return counts
 
 
@@ -144,16 +152,17 @@ class Pmu:
         raw = truth.copy()
         raw[generic] = truth[generic] * share
         if noisy:
-            rng = rng_for(
+            block = noise_matrix(
+                # Blind-spot error shrinks with the observed share.
+                0.02 * (1.0 - share),
+                len(generic),
                 "pmu-mux",
                 self._seed,
                 config.workload.name,
                 config.hyper,
                 config.system,
-                epoch,
             )
-            # Blind-spot error shrinks with the observed share.
-            blind = rng.normal(0.0, 0.02 * (1.0 - share), size=len(generic))
+            blind = block.row(epoch)
             raw[generic] = raw[generic] * np.maximum(0.0, 1.0 + blind)
         running = np.full(NUM_EVENTS, duration_s)
         running[generic] = duration_s * share

@@ -30,6 +30,10 @@ SAMPLE_PERIOD_S = 1.0
 #: (perf's sampling cost; kept small — §7.3 "profiling overhead").
 PROFILING_OVERHEAD = 0.015
 
+#: upper bound on sampling strata per epoch; also the stride that maps
+#: (epoch, stratum) onto a dense PMU noise-row index.
+MAX_STRATA = 8
+
 
 @dataclass
 class EpochProfile:
@@ -106,7 +110,7 @@ class EpochProfiler:
         # run time for minute-long epochs; counts are linear in window
         # length, so we batch the windows into a handful of strata and
         # keep per-stratum multiplexing noise.
-        strata = min(windows, 8)
+        strata = min(windows, MAX_STRATA)
         total = np.zeros(NUM_EVENTS)
         remaining = duration_s
         for s in range(strata):
@@ -116,7 +120,10 @@ class EpochProfiler:
                 config,
                 span,
                 busy_cores,
-                epoch=epoch * 1000 + s,
+                # Stratum index into the trial's PMU noise rows; dense
+                # (MAX_STRATA-strided) because rows up to the largest
+                # index are materialised by the draw-ahead matrix.
+                epoch=epoch * MAX_STRATA + s,
                 noisy=noisy,
             )
         return EpochProfile(

@@ -55,7 +55,7 @@ from .runner import AnalysisStep, ScenarioPlan, Step
 #: a change alters what any step computes (new stream layout, changed
 #: collector inputs, re-baselined goldens) — every stale entry then
 #: misses at once instead of replaying old bytes.
-CODE_VERSION = "outcome-cache-v1"
+CODE_VERSION = "noise-block-v2"
 
 _MAGIC = b"repro-outcome-cache\n"
 _ENTRY_SUFFIX = ".outcome"

@@ -18,11 +18,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
+import numpy as np
+
 from ..counters.profiler import EpochProfiler
 from ..simulation.cluster import Allocation, SimCluster
 from ..simulation.des import Environment, Event, SimulationError
 from ..workloads.accuracy import accuracy_at_epoch
-from ..workloads.perfmodel import active_cores, epoch_cost, working_set_gb
+from ..workloads.perfmodel import (
+    active_cores,
+    epoch_cost,
+    epoch_cost_batch,
+    working_set_gb,
+)
 from .errors import NodeDeparted, TrialCrashed, TrialOutOfMemory, TrialPreempted
 from .faults import FaultModel
 from ..workloads.spec import (
@@ -280,23 +287,35 @@ def run_trial(
                 # other way than per-epoch stepping; (b) the
                 # power_observed gate is sampled here — observers must
                 # attach before trials run (see Node.add_power_listener).
+                #
+                # The whole window's costs come from ONE batched
+                # synthesis: invariant terms computed once, the noise
+                # vector one draw from the trial's epoch-noise block —
+                # the same block positions the scalar stepping path
+                # reads, so the two paths are bit-identical by
+                # construction, not by re-derivation.
                 config = ctx.config
-                costs = [
-                    epoch_cost(config, epoch=k, contention=contention, noisy=noisy)
-                    for k in range(epoch, epochs + 1)
-                ]
-                durations = [c.total_s for c in costs]
-                busys = [active_cores(config, c) for c in costs]
+                batch = epoch_cost_batch(
+                    config,
+                    range(epoch, epochs + 1),
+                    contention=contention,
+                    noisy=noisy,
+                )
+                durations = batch.total_s
+                # Utilisation is epoch-invariant, so every epoch of the
+                # window runs at one busy-core level (scalar stepping
+                # recomputes the identical value per epoch).
+                busy_level = active_cores(config, batch)
                 # Epoch-end instants accumulated exactly as successive
-                # timeouts would have advanced the clock (same float
-                # rounding), then scheduled at the absolute end time.
-                ends = []
-                t_cursor = env.now
-                for d in durations:
-                    t_cursor += d
-                    ends.append(t_cursor)
+                # timeouts would have advanced the clock (cumsum adds
+                # sequentially — same float rounding as the loop),
+                # then scheduled at the absolute end time.
+                ends = [
+                    float(t)
+                    for t in np.cumsum(np.concatenate(((env.now,), durations)))[1:]
+                ]
                 node = allocation.node
-                node.notify_busy(busys[0])
+                node.notify_busy(busy_level)
                 sleep = Event(env)
                 sleep._triggered = True
                 env._schedule_at(sleep, ends[-1])
@@ -311,7 +330,7 @@ def run_trial(
                         completed += 1
                     for index in range(completed):
                         replay_epoch(
-                            epoch + index, durations[index], busys[index]
+                            epoch + index, float(durations[index]), busy_level
                         )
                     if completed < len(durations):
                         # Per-epoch stepping would have entered the next
@@ -335,16 +354,20 @@ def run_trial(
                                 "hooks declared run-out inert but were "
                                 f"active at epoch {k}"
                             )
-                        node.notify_busy(busys[completed] - busys[0])
+                        # The next epoch runs at the same (invariant)
+                        # busy level the window already applied, so no
+                        # busy adjustment is needed — per-epoch stepping
+                        # would have lowered and re-raised the identical
+                        # amount.
                         orphan = Event(env)
                         orphan._triggered = True
                         env._schedule_at(orphan, ends[completed])
                     else:
-                        node.notify_busy(-busys[0])
+                        node.notify_busy(-busy_level)
                     raise
                 for index, k in enumerate(range(epoch, epochs + 1)):
-                    replay_epoch(k, durations[index], busys[index])
-                node.notify_busy(-busys[0])
+                    replay_epoch(k, float(durations[index]), busy_level)
+                node.notify_busy(-busy_level)
                 break
 
             desired = hooks.before_epoch(ctx, epoch)

@@ -28,6 +28,9 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
+from .noise import noise_block
 from .spec import HyperParams, WorkloadSpec
 
 
@@ -102,9 +105,50 @@ def accuracy_at_epoch(
     rate = convergence_rate(workload, hyper)
     acc = floor + (a_max - floor) * (1.0 - math.exp(-rate * epoch))
     if noisy:
-        rng = workload.rng("acc-noise", hyper, trial_seed, epoch)
-        acc += rng.normal(0.0, workload.accuracy_noise)
+        acc += _acc_noise_block(workload, hyper, trial_seed).value(epoch)
     return min(1.0, max(0.0, acc))
+
+
+def _acc_noise_block(workload: WorkloadSpec, hyper: HyperParams, trial_seed: int):
+    """The trial's accuracy-noise block: one stream, indexed by epoch."""
+    return noise_block(
+        workload.accuracy_noise, workload.name, "acc-noise", hyper, trial_seed
+    )
+
+
+def accuracy_curve(
+    workload: WorkloadSpec,
+    hyper: HyperParams,
+    epochs: int,
+    trial_seed: int = 0,
+    noisy: bool = True,
+) -> np.ndarray:
+    """Accuracies after epochs ``1..epochs``, synthesized in one pass.
+
+    The learning-curve invariants (floor, asymptote, rate) are computed
+    once instead of per epoch, and the noise is applied as one batched
+    vector from the trial's accuracy-noise block. Element ``e-1`` is
+    bit-identical to ``accuracy_at_epoch(workload, hyper, e, ...)``:
+    the per-epoch exponential stays scalar ``math.exp`` (transcendental
+    vector kernels are not guaranteed to round identically) and the
+    noise block serves both forms from the same stream positions.
+    """
+    if epochs < 0:
+        raise ValueError("epochs must be >= 0")
+    if epochs == 0:
+        return np.empty(0, dtype=np.float64)
+    floor = 0.05 * workload.base_accuracy
+    a_max = asymptotic_accuracy(workload, hyper)
+    rate = convergence_rate(workload, hyper)
+    span = a_max - floor
+    curve = np.array(
+        [floor + span * (1.0 - math.exp(-rate * e)) for e in range(1, epochs + 1)],
+        dtype=np.float64,
+    )
+    if noisy:
+        block = _acc_noise_block(workload, hyper, trial_seed)
+        curve = curve + block.take(np.arange(1, epochs + 1))
+    return np.minimum(1.0, np.maximum(0.0, curve))
 
 
 def final_accuracy(
@@ -125,8 +169,11 @@ def learning_curve(
     trial_seed: int = 0,
     noisy: bool = True,
 ):
-    """List of accuracies after epochs ``1..hyper.epochs``."""
-    return [
-        accuracy_at_epoch(workload, hyper, e, trial_seed=trial_seed, noisy=noisy)
-        for e in range(1, hyper.epochs + 1)
-    ]
+    """List of accuracies after epochs ``1..hyper.epochs``.
+
+    Thin wrapper over :func:`accuracy_curve` (bit-identical to the
+    historical per-epoch loop; the curve synthesis is batched).
+    """
+    return accuracy_curve(
+        workload, hyper, hyper.epochs, trial_seed=trial_seed, noisy=noisy
+    ).tolist()

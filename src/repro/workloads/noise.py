@@ -1,0 +1,189 @@
+"""Batched draw-ahead noise streams: one keyed stream per (trial, kind).
+
+Before this layer, every per-epoch noise value cost one fresh Philox
+stream: ``rng_for(name, "epoch-noise", hp, sp, epoch)`` built a
+generator (~2-3µs after the PR 3 pooled adapter) for a *single* normal
+draw. The one-generator-per-draw call shape — not construction cost —
+was the remaining floor (ROADMAP, "Batched draw-ahead").
+
+:class:`NoiseBlock` collapses it: all of a trial's draws for one noise
+*kind* come from **one** counter-keyed stream,
+
+```
+stream = rng_for(*key_parts, "block")        # e.g. (name, "epoch-noise", hp, sp)
+draws  = stream.normal(0.0, sigma, size=n)   # the whole trial at once
+```
+
+and per-epoch consumers index into the drawn vector. Two properties
+make this exact rather than approximate:
+
+* numpy Generators fill batched draws sequentially, so
+  ``normal(size=n)`` is bit-identical to ``n`` scalar ``normal()``
+  calls on the same stream — and a block that grows later (``normal``
+  again on the *same* generator) extends the identical sequence.
+  ``tests/test_noise_block.py`` holds numpy to both properties.
+* a block's values are a pure function of (key parts, sigma, index):
+  evicting and rebuilding a block replays the same stream from the
+  key, so the bounded cache below can never change a number.
+
+The stream key deliberately ends in the literal ``"block"`` and never
+contains an epoch index — the epoch is a *position* in the stream, not
+part of its identity. `repro lint` (DET002) enforces that statically
+for every ``noise_block``/``NoiseBlock`` call site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .spec import rng_for
+
+#: initial draw-ahead depth; covers every paper trial budget (epochs
+#: <= 100) after one doubling, while keeping throwaway blocks (single
+#: epoch-0 probes) at one cheap 32-draw fill.
+_INITIAL_DRAWS = 32
+
+#: bounded block cache. Eviction is a full clear, like the stable_seed
+#: digest cache: blocks are pure in their key, so a rebuilt block
+#: replays identical values — eviction costs a redraw, never a
+#: different number.
+_BLOCK_CACHE: Dict[Tuple, "NoiseBlock"] = {}
+_BLOCK_CACHE_MAX = 1024
+
+
+class NoiseBlock:
+    """All draws of one noise kind for one trial, from one stream.
+
+    ``key_parts`` identify the stream exactly as a ``rng_for`` call
+    would (stable identities only — spec reprs, trial seeds, kind
+    literals); ``sigma`` is the normal scale applied to every draw.
+    Draws are materialised ahead in geometrically-growing batches and
+    served by index: ``value(epoch)`` is bit-identical to what the
+    ``epoch``-th sequential ``normal(0.0, sigma)`` call on the stream
+    would return, however the block grew to cover it.
+    """
+
+    __slots__ = ("_rng", "_sigma", "_values")
+
+    def __init__(self, sigma: float, key_parts: Tuple):
+        self._rng = rng_for(*key_parts, "block")
+        self._sigma = float(sigma)
+        self._values = np.empty(0, dtype=np.float64)
+
+    def _ensure(self, count: int) -> None:
+        """Draw ahead so at least ``count`` values are materialised."""
+        have = len(self._values)
+        if count <= have:
+            return
+        grow_to = max(count, 2 * have, _INITIAL_DRAWS)
+        fresh = self._rng.normal(0.0, self._sigma, size=grow_to - have)
+        self._values = np.concatenate((self._values, fresh))
+
+    def value(self, index: int) -> float:
+        """The ``index``-th draw of the stream (0-based), as a float."""
+        if index < 0:
+            raise ValueError("noise index must be >= 0")
+        self._ensure(index + 1)
+        return float(self._values[index])
+
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        """The draws at ``indices``, as one float64 vector."""
+        indices = np.asarray(indices, dtype=np.intp)
+        if indices.size == 0:
+            return np.empty(0, dtype=np.float64)
+        if indices.min() < 0:
+            raise ValueError("noise index must be >= 0")
+        self._ensure(int(indices.max()) + 1)
+        return self._values[indices]
+
+
+class NoiseMatrix:
+    """Draw-ahead noise *rows*: one stream, fixed-width vector draws.
+
+    The vector analogue of :class:`NoiseBlock` for consumers that draw a
+    fixed-width normal vector per epoch (the PMU draws one value per
+    hardware event). ``row(i)`` is bit-identical to the ``i``-th
+    sequential ``normal(0.0, sigma, size=width)`` call on the stream:
+    numpy fills multi-dimensional draws in C order from the same
+    underlying double sequence, so growing by whole rows extends the
+    stream exactly like the scalar case. Row indices are positions, not
+    key parts — keep them dense (small multiples of the epoch), because
+    the matrix materialises every row up to the largest index asked for.
+    """
+
+    __slots__ = ("_rng", "_sigma", "_width", "_rows")
+
+    def __init__(self, sigma: float, width: int, key_parts: Tuple):
+        if width <= 0:
+            raise ValueError("row width must be positive")
+        self._rng = rng_for(*key_parts, "block")
+        self._sigma = float(sigma)
+        self._width = int(width)
+        self._rows = np.empty((0, width), dtype=np.float64)
+
+    def _ensure(self, count: int) -> None:
+        """Draw ahead so at least ``count`` rows are materialised."""
+        have = len(self._rows)
+        if count <= have:
+            return
+        grow_to = max(count, 2 * have, _INITIAL_ROWS)
+        fresh = self._rng.normal(0.0, self._sigma, size=(grow_to - have, self._width))
+        self._rows = np.concatenate((self._rows, fresh))
+
+    def row(self, index: int) -> np.ndarray:
+        """The ``index``-th vector draw of the stream (0-based)."""
+        if index < 0:
+            raise ValueError("noise index must be >= 0")
+        self._ensure(index + 1)
+        return self._rows[index].copy()
+
+
+#: initial row-count for matrices; rows are wide (one value per PMU
+#: event), so start smaller than the scalar blocks.
+_INITIAL_ROWS = 8
+
+_MATRIX_CACHE: Dict[Tuple, "NoiseMatrix"] = {}
+_MATRIX_CACHE_MAX = 1024
+
+
+def noise_block(sigma: float, *key_parts) -> NoiseBlock:
+    """The (cached) :class:`NoiseBlock` for ``key_parts``.
+
+    The cache key is the parts' reprs plus ``sigma`` — the same
+    identity discipline as :func:`~repro.workloads.spec.stable_seed`,
+    so two calls agree on a block exactly when they would have agreed
+    on a stream.
+    """
+    key = (float(sigma), *map(repr, key_parts))
+    block = _BLOCK_CACHE.get(key)
+    if block is None:
+        if len(_BLOCK_CACHE) >= _BLOCK_CACHE_MAX:
+            _BLOCK_CACHE.clear()
+        block = NoiseBlock(sigma, key_parts)
+        _BLOCK_CACHE[key] = block
+    return block
+
+
+def noise_matrix(sigma: float, width: int, *key_parts) -> NoiseMatrix:
+    """The (cached) :class:`NoiseMatrix` for ``key_parts``.
+
+    Same identity discipline as :func:`noise_block`; the row width is
+    part of the cache key because it is part of the draw shape.
+    """
+    key = (float(sigma), int(width), *map(repr, key_parts))
+    matrix = _MATRIX_CACHE.get(key)
+    if matrix is None:
+        if len(_MATRIX_CACHE) >= _MATRIX_CACHE_MAX:
+            _MATRIX_CACHE.clear()
+        matrix = NoiseMatrix(sigma, width, key_parts)
+        _MATRIX_CACHE[key] = matrix
+    return matrix
+
+
+def clear_noise_blocks() -> None:
+    """Drop every cached block and matrix (tests / benchmarks; values
+    are pure in their keys, so clearing can never change a result)."""
+    _BLOCK_CACHE.clear()
+    _MATRIX_CACHE.clear()

@@ -29,7 +29,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
 
+import numpy as np
+
+from .noise import clear_noise_blocks, noise_block
 from .spec import (
     BASE_CPU_FREQ_GHZ,
     HyperParams,
@@ -55,6 +59,27 @@ class EpochCost:
     mem_penalty: float
     total_s: float
     utilisation: float  # fraction of allocated cores actively computing
+
+
+@dataclass(frozen=True)
+class EpochCostBatch:
+    """One trial segment's epoch costs, synthesized in a single pass.
+
+    The compute/sync/memory terms depend only on (workload, hyper,
+    system, contention), so they are scalars shared by every epoch;
+    ``total_s`` carries the per-epoch totals — the shared base times
+    the epoch's noise factor, drawn as one vector from the trial's
+    :class:`~repro.workloads.noise.NoiseBlock`. Element ``i`` is
+    bit-identical to ``epoch_cost(config, epochs[i], ...).total_s``:
+    both read the same block position and apply the same float ops.
+    """
+
+    compute_s: float
+    sync_s: float
+    overhead_s: float
+    mem_penalty: float
+    utilisation: float
+    total_s: np.ndarray  # aligned with the requested epoch indices
 
 
 def updates_per_epoch(workload: WorkloadSpec, hyper: HyperParams) -> int:
@@ -86,30 +111,29 @@ def memory_penalty(
     return 1.0 + workload.mem_pressure_slope * shortfall
 
 
-def epoch_cost(
-    config: TrialConfig,
-    epoch: int = 0,
-    contention: float = 1.0,
-    noisy: bool = True,
-) -> EpochCost:
-    """Simulated wall-clock cost of one training epoch.
+@dataclass(frozen=True)
+class _CostTerms:
+    """Epoch-invariant cost terms of one (workload, hyper, system)."""
 
-    Parameters
-    ----------
-    config:
-        Workload + hyperparameters + system parameters.
-    epoch:
-        Epoch index; only used to derive the deterministic noise draw.
-    contention:
-        Slowdown factor >= 1 from co-located jobs pinned to the same
-        cores (used by the Fig 5 experiment). 1.0 means exclusive use.
-    noisy:
-        Disable to obtain the noise-free analytic expectation (useful
-        for property tests of monotonicity).
-    """
-    if contention < 1.0:
-        raise ValueError("contention factor must be >= 1")
-    w, hp, sp = config.workload, config.hyper, config.system
+    compute_s: float
+    sync_s: float
+    mem_penalty: float
+    utilisation: float
+
+
+#: memoized epoch-invariant terms keyed on the specs' (cached) reprs.
+#: The terms are pure in the frozen specs, so caching cannot change a
+#: number — per-epoch stepping just stops recomputing updates/compute/
+#: sync/penalty for every single epoch of a trial.
+_TERMS_CACHE: Dict[Tuple[str, str, str], _CostTerms] = {}
+_TERMS_CACHE_MAX = 4096
+
+
+def _cost_terms(w: WorkloadSpec, hp: HyperParams, sp: SystemParams) -> _CostTerms:
+    key = (repr(w), repr(hp), repr(sp))
+    terms = _TERMS_CACHE.get(key)
+    if terms is not None:
+        return terms
     k = sp.cores
     updates = updates_per_epoch(w, hp)
 
@@ -136,22 +160,109 @@ def epoch_cost(
     )
     sync = updates * sync_per_update
 
-    # -- memory pressure + overheads --------------------------------------
     penalty = memory_penalty(w, hp, sp)
-    total = (compute + sync) * penalty * contention + w.epoch_overhead_s
-
-    if noisy:
-        rng = w.rng("epoch-noise", hp, sp, epoch)
-        total *= max(0.5, 1.0 + rng.normal(0.0, w.runtime_noise))
-
     busy = compute / (compute + sync) if (compute + sync) > 0 else 1.0
+    terms = _CostTerms(
+        compute_s=compute, sync_s=sync, mem_penalty=penalty, utilisation=busy
+    )
+    if len(_TERMS_CACHE) >= _TERMS_CACHE_MAX:
+        _TERMS_CACHE.clear()
+    _TERMS_CACHE[key] = terms
+    return terms
+
+
+def _epoch_noise_block(w: WorkloadSpec, hp: HyperParams, sp: SystemParams):
+    """The trial's epoch-noise block: one stream for all its epochs."""
+    return noise_block(w.runtime_noise, w.name, "epoch-noise", hp, sp)
+
+
+def clear_cost_caches() -> None:
+    """Drop the memoized cost terms and noise blocks (tests/benchmarks;
+    both are pure in their keys, so clearing cannot change a number)."""
+    _TERMS_CACHE.clear()
+    clear_noise_blocks()
+
+
+def epoch_cost(
+    config: TrialConfig,
+    epoch: int = 0,
+    contention: float = 1.0,
+    noisy: bool = True,
+) -> EpochCost:
+    """Simulated wall-clock cost of one training epoch.
+
+    Parameters
+    ----------
+    config:
+        Workload + hyperparameters + system parameters.
+    epoch:
+        Epoch index; only used to position the deterministic noise
+        draw inside the trial's epoch-noise block.
+    contention:
+        Slowdown factor >= 1 from co-located jobs pinned to the same
+        cores (used by the Fig 5 experiment). 1.0 means exclusive use.
+    noisy:
+        Disable to obtain the noise-free analytic expectation (useful
+        for property tests of monotonicity).
+    """
+    if contention < 1.0:
+        raise ValueError("contention factor must be >= 1")
+    w, hp, sp = config.workload, config.hyper, config.system
+    terms = _cost_terms(w, hp, sp)
+    total = (
+        (terms.compute_s + terms.sync_s) * terms.mem_penalty * contention
+        + w.epoch_overhead_s
+    )
+    if noisy:
+        block = _epoch_noise_block(w, hp, sp)
+        total *= max(0.5, 1.0 + block.value(epoch))
     return EpochCost(
-        compute_s=compute,
-        sync_s=sync,
+        compute_s=terms.compute_s,
+        sync_s=terms.sync_s,
         overhead_s=w.epoch_overhead_s,
-        mem_penalty=penalty,
+        mem_penalty=terms.mem_penalty,
         total_s=total,
-        utilisation=busy,
+        utilisation=terms.utilisation,
+    )
+
+
+def epoch_cost_batch(
+    config: TrialConfig,
+    epochs: Iterable[int],
+    contention: float = 1.0,
+    noisy: bool = True,
+) -> EpochCostBatch:
+    """Simulated cost of many epochs of one trial, in one pass.
+
+    Computes the epoch-invariant terms once and applies the epoch-noise
+    vector — one batched draw from the trial's noise block — in a
+    single numpy expression. ``total_s[i]`` is bit-identical to
+    ``epoch_cost(config, epochs[i], contention, noisy).total_s``, which
+    is what lets the coalesced run-out in
+    :func:`repro.tune.trainer.run_trial` consume the batch while
+    per-epoch stepping keeps calling the scalar form.
+    """
+    if contention < 1.0:
+        raise ValueError("contention factor must be >= 1")
+    w, hp, sp = config.workload, config.hyper, config.system
+    terms = _cost_terms(w, hp, sp)
+    base = (
+        (terms.compute_s + terms.sync_s) * terms.mem_penalty * contention
+        + w.epoch_overhead_s
+    )
+    indices = np.asarray(epochs, dtype=np.intp)
+    if noisy:
+        block = _epoch_noise_block(w, hp, sp)
+        totals = base * np.maximum(0.5, 1.0 + block.take(indices))
+    else:
+        totals = np.full(indices.shape, base, dtype=np.float64)
+    return EpochCostBatch(
+        compute_s=terms.compute_s,
+        sync_s=terms.sync_s,
+        overhead_s=w.epoch_overhead_s,
+        mem_penalty=terms.mem_penalty,
+        utilisation=terms.utilisation,
+        total_s=totals,
     )
 
 
@@ -172,8 +283,12 @@ def training_time(
     )
 
 
-def active_cores(config: TrialConfig, cost: EpochCost) -> float:
+def active_cores(config: TrialConfig, cost: "EpochCost | EpochCostBatch") -> float:
     """Average cores actively drawing compute power during an epoch.
+
+    Utilisation is epoch-invariant (noise scales the total, not the
+    compute/sync split), so an :class:`EpochCostBatch` yields the same
+    single busy-core level as every one of its scalar epochs.
 
     Synchronisation phases are communication-bound and draw less, which
     the power model captures as a lower effective busy-core count.

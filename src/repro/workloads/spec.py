@@ -173,6 +173,20 @@ def _reference_philox_generator(key: int) -> np.random.Generator:
     return np.random.Generator(np.random.Philox(key=key))
 
 
+#: total stream constructions since import (pool hits, misses and
+#: reference fallbacks alike). Instrumentation for the batched
+#: draw-ahead contract: the per-run construction count is the metric
+#: the NoiseBlock layer optimises, so it stays measurable
+#: (tests/test_noise_block.py bounds it; benchmarks/README.md records
+#: the fig09 A/B).
+_CONSTRUCTION_COUNT = 0
+
+
+def philox_construction_count() -> int:
+    """Streams constructed via :func:`philox_generator` since import."""
+    return _CONSTRUCTION_COUNT
+
+
 def philox_generator(key: int) -> np.random.Generator:
     """A fresh ``Generator(Philox(key=key))``, built the cheap way.
 
@@ -180,8 +194,10 @@ def philox_generator(key: int) -> np.random.Generator:
     for every key in [0, 2**128); the import-time self-check falls back
     to the reference constructor if the fast path ever diverges.
     """
+    global _CONSTRUCTION_COUNT
     if not 0 <= key <= _PHILOX_KEY_MAX:
         raise ValueError("Philox key must be an integer in [0, 2**128)")
+    _CONSTRUCTION_COUNT += 1
     if not _FAST_CONSTRUCTION:
         return _reference_philox_generator(key)
     if _PHILOX_POOL:

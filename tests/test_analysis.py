@@ -291,6 +291,91 @@ class TestDet002:
         )
         assert findings == ()
 
+    def test_loop_index_in_block_key_fires(self):
+        findings = lint_source(
+            """
+            from repro.workloads.noise import noise_block
+            def f(w, hp, sp):
+                for epoch in range(w.epochs):
+                    yield noise_block(w.runtime_noise, w.name, hp, sp, epoch)
+            """,
+            rules=["DET002"],
+        )
+        assert rules_fired(findings) == ["DET002"]
+        assert "loop index" in findings[0].message
+        assert "position" in findings[0].message
+
+    def test_comprehension_index_in_matrix_key_fires(self):
+        findings = lint_source(
+            """
+            from repro.workloads.noise import noise_matrix
+            def f(w, hp, sp, n):
+                return [noise_matrix(0.03, 58, w.name, hp, sp, e) for e in range(n)]
+            """,
+            rules=["DET002"],
+        )
+        assert any("loop index" in f.message for f in findings)
+
+    def test_salted_block_key_fires(self):
+        findings = lint_source(
+            """
+            from repro.workloads.noise import NoiseBlock
+            def f(w, hp):
+                return NoiseBlock(w.runtime_noise, (id(w), hp))
+            """,
+            rules=["DET002"],
+        )
+        assert any("id()" in f.message for f in findings)
+        assert any("noise-block key part" in f.message for f in findings)
+
+    def test_block_sigma_and_width_args_exempt(self):
+        # Leading non-key args (sigma, width) may legitimately vary per
+        # loop iteration; only the identity parts are constrained.
+        findings = lint_source(
+            """
+            from repro.workloads.noise import noise_matrix
+            def f(w, hp, sp, widths):
+                for width in widths:
+                    yield noise_matrix(0.02 * width, width, w.name, hp, sp)
+            """,
+            rules=["DET002"],
+        )
+        assert findings == ()
+
+    def test_batch_indices_exempt_but_not_salt(self):
+        findings = lint_source(
+            """
+            from repro.workloads.perfmodel import epoch_cost_batch
+            def f(config, epochs):
+                for start in epochs:
+                    yield epoch_cost_batch(config, range(start, start + 8))
+            """,
+            rules=["DET002"],
+        )
+        assert findings == ()
+        findings = lint_source(
+            """
+            from repro.workloads.perfmodel import epoch_cost_batch
+            def f(config, it):
+                return epoch_cost_batch(config, [next(it)])
+            """,
+            rules=["DET002"],
+        )
+        assert any("next()" in f.message for f in findings)
+
+    def test_block_keyed_on_stable_identity_clean(self):
+        findings = lint_source(
+            """
+            from repro.workloads.noise import noise_block
+            def f(w, hp, sp):
+                block = noise_block(w.runtime_noise, w.name, "epoch-noise", hp, sp)
+                for epoch in range(w.epochs):
+                    yield block.value(epoch)
+            """,
+            rules=["DET002"],
+        )
+        assert findings == ()
+
 
 class TestPkl001:
     FIXTURE = """

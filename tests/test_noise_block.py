@@ -1,0 +1,205 @@
+"""The draw-ahead noise layer's exactness contract.
+
+The batched blocks are only allowed to exist because numpy Generators
+fill batched draws sequentially — ``normal(size=n)`` is bit-identical
+to ``n`` scalar calls on the same stream, and a later draw on the same
+generator extends the identical sequence. These tests hold numpy to
+both properties across the key domain (hypothesis), then hold the
+repro models to the equivalences built on them: scalar ``epoch_cost``
+vs ``epoch_cost_batch``, scalar ``accuracy_at_epoch`` vs
+``accuracy_curve``, matrix rows vs sequential vector draws, and the
+construction-count bound the whole layer exists to enforce.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    HyperParams,
+    SystemParams,
+    TrialConfig,
+    accuracy_at_epoch,
+    accuracy_curve,
+    clear_cost_caches,
+    epoch_cost,
+    epoch_cost_batch,
+    get_workload,
+    philox_construction_count,
+    rng_for,
+)
+from repro.workloads.noise import (
+    NoiseBlock,
+    NoiseMatrix,
+    clear_noise_blocks,
+    noise_block,
+    noise_matrix,
+)
+
+KEYS = st.lists(
+    st.one_of(st.text(max_size=8), st.integers(-(2**31), 2**31)),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestNumpySequentialFill:
+    """The numpy properties the blocks stand on, over the key domain."""
+
+    @given(parts=KEYS, n=st.integers(1, 64), sigma=st.floats(0.001, 10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_batched_normal_bit_matches_sequential(self, parts, n, sigma):
+        batched = rng_for(*parts).normal(0.0, sigma, size=n)
+        reference = rng_for(*parts)
+        sequential = np.array([reference.normal(0.0, sigma) for _ in range(n)])
+        assert (batched == sequential).all()
+
+    @given(parts=KEYS, first=st.integers(1, 32), second=st.integers(1, 32))
+    @settings(max_examples=100, deadline=None)
+    def test_extension_continues_the_stream(self, parts, first, second):
+        whole = rng_for(*parts).normal(0.0, 1.0, size=first + second)
+        grown = rng_for(*parts)
+        a = grown.normal(0.0, 1.0, size=first)
+        b = grown.normal(0.0, 1.0, size=second)
+        assert (np.concatenate((a, b)) == whole).all()
+
+    @given(parts=KEYS, rows=st.integers(1, 8), width=st.integers(1, 16))
+    @settings(max_examples=100, deadline=None)
+    def test_matrix_fill_is_row_major_sequential(self, parts, rows, width):
+        matrix = rng_for(*parts).normal(0.0, 1.0, size=(rows, width))
+        flat = rng_for(*parts).normal(0.0, 1.0, size=rows * width)
+        assert (matrix.reshape(-1) == flat).all()
+
+
+class TestNoiseBlock:
+    def test_value_matches_sequential_draws_however_grown(self):
+        sigma = 0.07
+        reference = rng_for("wl", "epoch-noise", "block").normal(0.0, sigma, size=100)
+        block = NoiseBlock(sigma, ("wl", "epoch-noise"))
+        # Access out of order, forcing several growth steps.
+        for index in (0, 40, 3, 99, 7):
+            assert block.value(index) == reference[index]
+
+    def test_take_matches_values(self):
+        block = noise_block(0.1, "take-test")
+        indices = np.array([5, 0, 17, 5])
+        taken = block.take(indices)
+        assert [block.value(i) for i in indices] == list(taken)
+
+    def test_negative_index_rejected(self):
+        block = noise_block(0.1, "negative-test")
+        with pytest.raises(ValueError):
+            block.value(-1)
+        with pytest.raises(ValueError):
+            block.take(np.array([0, -2]))
+
+    def test_cache_key_includes_sigma(self):
+        # Same key parts, different scale -> different blocks (a cache
+        # hit across scales would serve wrongly-scaled draws).
+        a = noise_block(0.1, "sigma-test")
+        b = noise_block(0.2, "sigma-test")
+        assert a is not b
+        assert a.value(0) != b.value(0)
+
+    def test_eviction_replays_identical_values(self):
+        before = noise_block(0.1, "evict-test").value(9)
+        clear_noise_blocks()
+        assert noise_block(0.1, "evict-test").value(9) == before
+
+
+class TestNoiseMatrix:
+    def test_row_matches_sequential_vector_draws(self):
+        sigma, width = 0.03, 58
+        reference = rng_for("m", "pmu", "block").normal(0.0, sigma, size=(12, width))
+        matrix = NoiseMatrix(sigma, width, ("m", "pmu"))
+        for index in (0, 9, 2, 11):
+            assert (matrix.row(index) == reference[index]).all()
+
+    def test_rows_are_copies(self):
+        matrix = noise_matrix(0.03, 4, "copy-test")
+        row = matrix.row(1)
+        row[:] = 0.0
+        assert (matrix.row(1) != 0.0).any()
+
+    def test_width_in_cache_key(self):
+        a = noise_matrix(0.03, 3, "width-test")
+        b = noise_matrix(0.03, 5, "width-test")
+        assert a is not b
+
+
+class TestModelEquivalence:
+    """The scalar and batched model forms are the same numbers."""
+
+    def configs(self):
+        for name in ("lenet-mnist", "cnn-news20"):
+            workload = get_workload(name)
+            yield TrialConfig(
+                workload=workload,
+                hyper=HyperParams(batch_size=128, epochs=12),
+                system=SystemParams(cores=8, memory_gb=16.0),
+            )
+
+    def test_epoch_cost_batch_bit_matches_scalar(self):
+        for config in self.configs():
+            for contention in (1.0, 1.7):
+                batch = epoch_cost_batch(
+                    config, range(12), contention=contention
+                )
+                for epoch in range(12):
+                    scalar = epoch_cost(config, epoch=epoch, contention=contention)
+                    assert batch.total_s[epoch] == scalar.total_s
+                    assert batch.compute_s == scalar.compute_s
+                    assert batch.sync_s == scalar.sync_s
+                    assert batch.mem_penalty == scalar.mem_penalty
+                    assert batch.utilisation == scalar.utilisation
+
+    def test_epoch_cost_batch_noise_free(self):
+        for config in self.configs():
+            batch = epoch_cost_batch(config, range(5), noisy=False)
+            for epoch in range(5):
+                assert batch.total_s[epoch] == epoch_cost(
+                    config, epoch=epoch, noisy=False
+                ).total_s
+
+    def test_epoch_cost_batch_arbitrary_indices(self):
+        # The coalesced run-out resumes mid-trial; pipetune probes use
+        # sparse thousand-range indices. Both must match the scalars.
+        config = next(self.configs())
+        indices = [7, 3, 1003, 0]
+        batch = epoch_cost_batch(config, indices)
+        for position, epoch in enumerate(indices):
+            assert batch.total_s[position] == epoch_cost(config, epoch=epoch).total_s
+
+    def test_accuracy_curve_bit_matches_scalar(self):
+        for config in self.configs():
+            workload, hyper = config.workload, config.hyper
+            for trial_seed in (0, 12345):
+                curve = accuracy_curve(workload, hyper, 12, trial_seed=trial_seed)
+                for epoch in range(1, 13):
+                    assert curve[epoch - 1] == accuracy_at_epoch(
+                        workload, hyper, epoch, trial_seed=trial_seed
+                    )
+
+    def test_scalar_then_batch_then_scalar_consistent(self):
+        # Mixed access orders (per-epoch stepping before and after a
+        # coalesced run-out) all read the same stream positions.
+        config = next(self.configs())
+        clear_cost_caches()
+        early = epoch_cost(config, epoch=2).total_s
+        batch = epoch_cost_batch(config, range(40))
+        assert batch.total_s[2] == early
+        assert epoch_cost(config, epoch=33).total_s == batch.total_s[33]
+
+    def test_construction_count_bounded(self):
+        # The point of the layer: a full noisy trial costs O(1) stream
+        # constructions, not O(epochs).
+        config = next(self.configs())
+        clear_cost_caches()
+        before = philox_construction_count()
+        epoch_cost_batch(config, range(200))
+        accuracy_curve(config.workload, config.hyper, 200)
+        for epoch in range(200):
+            epoch_cost(config, epoch=epoch)
+        built = philox_construction_count() - before
+        assert built <= 4

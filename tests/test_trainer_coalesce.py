@@ -259,7 +259,11 @@ class TestPhiloxStreamDerivation:
     counter-keyed Philox streams, not merely from *some* deterministic
     source: every record of a coalesced trial is reconstructed
     bit-exactly with ``Generator(Philox(key=stable_seed(...)))`` built
-    by hand, replaying the exact float operations of the models."""
+    by hand, replaying the exact float operations of the models.
+
+    Under the draw-ahead blocks there is ONE stream per (trial, kind) —
+    keyed with the literal ``"block"`` suffix and no epoch — and the
+    epoch selects a position in its batched normal sequence."""
 
     @pytest.mark.parametrize(
         "workload", [LENET_MNIST, CNN_NEWS20], ids=lambda w: w.name
@@ -276,31 +280,30 @@ class TestPhiloxStreamDerivation:
         system = SystemParams(cores=8, memory_gb=16.0)
         config = hooks.ctx.config
 
-        for record in result.records:
-            acc_rng = np.random.Generator(
-                np.random.Philox(
-                    key=stable_seed(
-                        workload.name, "acc-noise", hyper, trial_seed, record.epoch
-                    )
+        acc_rng = np.random.Generator(
+            np.random.Philox(
+                key=stable_seed(
+                    workload.name, "acc-noise", hyper, trial_seed, "block"
                 )
             )
+        )
+        acc_draws = acc_rng.normal(0.0, workload.accuracy_noise, size=epochs + 1)
+        time_rng = np.random.Generator(
+            np.random.Philox(
+                key=stable_seed(workload.name, "epoch-noise", hyper, system, "block")
+            )
+        )
+        time_draws = time_rng.normal(0.0, workload.runtime_noise, size=epochs + 1)
+
+        for record in result.records:
             noiseless = accuracy_at_epoch(
                 workload, hyper, record.epoch, trial_seed=trial_seed, noisy=False
             )
             expected_accuracy = min(
-                1.0, max(0.0, noiseless + acc_rng.normal(0.0, workload.accuracy_noise))
+                1.0, max(0.0, noiseless + acc_draws[record.epoch])
             )
             assert record.accuracy == expected_accuracy  # bit-exact
 
-            time_rng = np.random.Generator(
-                np.random.Philox(
-                    key=stable_seed(
-                        workload.name, "epoch-noise", hyper, system, record.epoch
-                    )
-                )
-            )
             noiseless_s = epoch_cost(config, epoch=record.epoch, noisy=False).total_s
-            expected_duration = noiseless_s * max(
-                0.5, 1.0 + time_rng.normal(0.0, workload.runtime_noise)
-            )
+            expected_duration = noiseless_s * max(0.5, 1.0 + time_draws[record.epoch])
             assert record.duration_s == expected_duration  # bit-exact
